@@ -1,0 +1,149 @@
+//! Microbenchmarks of the computational kernels BoFL exercises on every
+//! round: device cost evaluation, GP fitting/prediction, EHVI, the
+//! hypervolume indicator and the exploitation ILP.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bofl_device::Device;
+use bofl_gp::{GaussianProcess, GpConfig};
+use bofl_ilp::{solve_profile, solve_profile_pairs, ConfigCost};
+use bofl_mobo::ehvi::{expected_hypervolume_improvement, BiGaussian};
+use bofl_mobo::hypervolume::hypervolume;
+use bofl_mobo::{ParetoFront, SobolSequence};
+use bofl_workload::{FlTask, TaskKind, Testbed};
+
+fn device_eval(c: &mut Criterion) {
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::ImagenetResnet50, Testbed::JetsonAgx);
+    let space = device.config_space().clone();
+    let configs: Vec<_> = space.iter().collect();
+    c.bench_function("device/true_cost_2100_configs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &configs {
+                acc += device.true_cost(&task, x).energy_j;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn gp_fit_predict(c: &mut Criterion) {
+    // A BoFL-sized training set: 70 observations in 3-D.
+    let mut sobol = SobolSequence::new(3);
+    let xs: Vec<Vec<f64>> = (0..70).map(|_| sobol.next_point()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 4.0 + x[0] - 2.0 * x[1] + (5.0 * x[2]).sin())
+        .collect();
+    let cfg = GpConfig {
+        restarts: 2,
+        max_evaluations: 250,
+        ..GpConfig::default()
+    };
+    c.bench_function("gp/fit_70pts_3d_mle", |b| {
+        b.iter(|| GaussianProcess::fit(black_box(&xs), black_box(&ys), cfg).unwrap())
+    });
+
+    let gp = GaussianProcess::fit(&xs, &ys, cfg).unwrap();
+    let queries: Vec<Vec<f64>> = (0..2100)
+        .map(|i| {
+            let t = i as f64 / 2100.0;
+            vec![t, (t * 7.0).fract(), (t * 13.0).fract()]
+        })
+        .collect();
+    c.bench_function("gp/predict_2100_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += gp.predict(q).unwrap().mean;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn ehvi_and_hypervolume(c: &mut Criterion) {
+    let front: ParetoFront = (0..20)
+        .map(|i| {
+            let t = i as f64 / 19.0;
+            [1.0 + 4.0 * t, 5.0 - 4.0 * t]
+        })
+        .collect();
+    let r = [6.0, 6.0];
+    c.bench_function("mobo/hypervolume_20pt_front", |b| {
+        b.iter(|| black_box(hypervolume(black_box(&front), r)))
+    });
+
+    let post = BiGaussian {
+        mean0: 2.5,
+        std0: 0.4,
+        mean1: 2.5,
+        std1: 0.4,
+    };
+    c.bench_function("mobo/ehvi_single_eval", |b| {
+        b.iter(|| {
+            black_box(expected_hypervolume_improvement(
+                black_box(&front),
+                post,
+                r,
+            ))
+        })
+    });
+    c.bench_function("mobo/ehvi_2100_candidates", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..2100 {
+                let t = i as f64 / 2100.0;
+                let p = BiGaussian {
+                    mean0: 1.0 + 4.0 * t,
+                    std0: 0.3,
+                    mean1: 5.0 - 4.0 * t,
+                    std1: 0.3,
+                };
+                acc += expected_hypervolume_improvement(&front, p, r);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn exploitation_ilp(c: &mut Criterion) {
+    // A realistic Pareto set: ~25 trade-off candidates, 200 jobs.
+    let candidates: Vec<ConfigCost> = (0..25)
+        .map(|i| {
+            let t = i as f64 / 24.0;
+            ConfigCost {
+                latency_s: 0.18 + 0.20 * t,
+                energy_j: 5.0 - 1.6 * t,
+            }
+        })
+        .collect();
+    c.bench_function("ilp/solve_profile_25x200", |b| {
+        b.iter_batched(
+            || candidates.clone(),
+            |cands| solve_profile(black_box(&cands), 200, 55.0).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ilp/solve_profile_pairs_25x200", |b| {
+        b.iter(|| solve_profile_pairs(black_box(&candidates), 200, 55.0).unwrap())
+    });
+}
+
+fn sobol(c: &mut Criterion) {
+    c.bench_function("mobo/sobol_1000_points_3d", |b| {
+        b.iter(|| {
+            let mut s = SobolSequence::new(3);
+            black_box(s.take_points(1000))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = device_eval, gp_fit_predict, ehvi_and_hypervolume, exploitation_ilp, sobol
+}
+criterion_main!(benches);

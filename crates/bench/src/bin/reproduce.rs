@@ -1,0 +1,97 @@
+//! Regenerates every table and figure of the BoFL paper's evaluation.
+//!
+//! ```text
+//! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
+//!
+//! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig9 fig10 fig11 table3
+//!             fig12 fig13 | all (default)
+//! --quick     reduced scale (20 rounds instead of 100)
+//! --out DIR   write CSVs under DIR (default: results/)
+//! ```
+
+use bofl_bench::experiments::{
+    ablations, fig11_pareto, fig2_spread, fig12_sensitivity, fig13_overhead, fig3_fig4_fig5_motivation as motivation,
+    fig9_fig10_energy, table1_table2_specs as specs, table3_walkthrough, ExperimentScale,
+};
+use bofl_bench::Report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const ALL: &[&str] = &[
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "table3", "fig12",
+    "fig13", "ablation",
+];
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce [EXPERIMENT ...] [--quick] [--out DIR]\n\
+                     experiments: {} | all",
+                    ALL.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
+            other if ALL.contains(&other) => wanted.push(other.to_string()),
+            other => {
+                eprintln!("unknown experiment '{other}'; valid: {} | all", ALL.join(" "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    wanted.dedup();
+
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::full()
+    };
+
+    let emit = |report: Report| {
+        println!("{}", report.to_text());
+        if let Err(e) = report.write_csvs(&out) {
+            eprintln!("warning: failed to write CSVs: {e}");
+        }
+    };
+
+    for exp in &wanted {
+        let started = std::time::Instant::now();
+        match exp.as_str() {
+            "table1" => emit(specs::table1()),
+            "table2" => emit(specs::table2()),
+            "fig2" => emit(fig2_spread::figure()),
+            "fig3" => emit(motivation::fig3()),
+            "fig4" => emit(motivation::fig4()),
+            "fig5" => emit(motivation::fig5()),
+            "fig9" => emit(fig9_fig10_energy::figure(2.0, scale).0),
+            "fig10" => emit(fig9_fig10_energy::figure(4.0, scale).0),
+            "fig11" => emit(fig11_pareto::figure(scale)),
+            "table3" => emit(table3_walkthrough::table(scale)),
+            "fig12" => emit(fig12_sensitivity::figure(scale)),
+            "fig13" => emit(fig13_overhead::figure(scale)),
+            "ablation" => emit(ablations::study(scale)),
+            _ => unreachable!("validated above"),
+        }
+        eprintln!("[{exp} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    eprintln!("CSV output written under {}", out.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,147 @@
+//! Fig. 11: BoFL's searched Pareto front vs the actual Pareto front from
+//! exhaustive offline profiling, on the AGX for all three tasks.
+
+use crate::experiments::common::{device_for, run_triple, ExperimentScale};
+use crate::report::{f, Report, Table};
+use bofl_mobo::hypervolume::hypervolume;
+use bofl_mobo::ParetoFront;
+use bofl_workload::{FlTask, TaskKind, Testbed};
+
+/// One task's Fig. 11 data: every point labeled by its role.
+fn pareto_table(kind: TaskKind, scale: ExperimentScale) -> (Table, f64, f64, usize, usize) {
+    let triple = run_triple(kind, Testbed::JetsonAgx, 2.0, scale);
+    let device = device_for(Testbed::JetsonAgx);
+    let task = FlTask::preset(kind, Testbed::JetsonAgx);
+    let space = device.config_space();
+
+    let mut t = Table::new(
+        format!(
+            "fig11_{}",
+            kind.to_string().to_lowercase().replace('-', "_")
+        ),
+        &["role", "latency_s", "energy_j", "cpu_mhz", "gpu_mhz", "mem_mhz"],
+    );
+
+    // Ground truth: exhaustive profile and its true Pareto front.
+    let profile = device.profile_all(&task);
+    let objectives: Vec<[f64; 2]> = profile
+        .iter()
+        .map(|p| [p.cost.energy_j, p.cost.latency_s])
+        .collect();
+    let true_front_idx = bofl_mobo::pareto_front_indices(&objectives);
+    for &i in &true_front_idx {
+        let p = &profile[i];
+        t.push_row(vec![
+            "actual_pareto".into(),
+            f(p.cost.latency_s, 4),
+            f(p.cost.energy_j, 3),
+            p.config.cpu.as_mhz().to_string(),
+            p.config.gpu.as_mhz().to_string(),
+            p.config.mem.as_mhz().to_string(),
+        ]);
+    }
+
+    // BoFL's observations and its searched front.
+    let pareto_set: std::collections::HashSet<_> =
+        triple.bofl_pareto.iter().map(|(i, _, _)| *i).collect();
+    for &(idx, lat, en) in &triple.bofl_observed {
+        let cfg = space.get(idx).expect("observed indices are valid");
+        let role = if pareto_set.contains(&idx) {
+            "bofl_pareto"
+        } else {
+            "bofl_explored"
+        };
+        t.push_row(vec![
+            role.into(),
+            f(lat, 4),
+            f(en, 3),
+            cfg.cpu.as_mhz().to_string(),
+            cfg.gpu.as_mhz().to_string(),
+            cfg.mem.as_mhz().to_string(),
+        ]);
+    }
+
+    // Quality metric: hypervolume of BoFL's front relative to the truth.
+    let reference = {
+        let mut worst = [f64::NEG_INFINITY; 2];
+        for o in &objectives {
+            worst[0] = worst[0].max(o[0]);
+            worst[1] = worst[1].max(o[1]);
+        }
+        [worst[0] * 1.01, worst[1] * 1.01]
+    };
+    let true_front: ParetoFront = true_front_idx.iter().map(|&i| objectives[i]).collect();
+    let bofl_front: ParetoFront = triple
+        .bofl_pareto
+        .iter()
+        .map(|&(_, lat, en)| [en, lat])
+        .collect();
+    let hv_true = hypervolume(&true_front, reference);
+    let hv_bofl = hypervolume(&bofl_front, reference);
+    let explored_frac = triple.bofl_observed.len() as f64 / space.len() as f64;
+    (
+        t,
+        hv_bofl / hv_true,
+        explored_frac,
+        triple.bofl_pareto.len(),
+        true_front_idx.len(),
+    )
+}
+
+/// Runs the Fig. 11 experiment for all three tasks.
+pub fn figure(scale: ExperimentScale) -> Report {
+    let mut report = Report::new("Figure 11: BoFL Pareto fronts vs actual Pareto fronts (AGX)");
+    let mut summary = Table::new(
+        "fig11_summary",
+        &[
+            "task",
+            "hv_fraction",
+            "explored_pct",
+            "bofl_pareto_points",
+            "true_pareto_points",
+        ],
+    );
+    for kind in TaskKind::all() {
+        let (t, hv_frac, explored, bofl_n, true_n) = pareto_table(kind, scale);
+        summary.push_row(vec![
+            kind.to_string(),
+            f(hv_frac, 3),
+            f(explored * 100.0, 1),
+            bofl_n.to_string(),
+            true_n.to_string(),
+        ]);
+        report.push_table(t);
+    }
+    report.note("hv_fraction: hypervolume of BoFL's front / true front (1.0 = perfect).");
+    report.note("Paper: Pareto constructed after exploring ≈3% of the space.");
+    report.push_table(summary);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bofl_front_close_to_truth_at_reduced_scale() {
+        let scale = ExperimentScale {
+            rounds: 25,
+            deadline_seed: 4,
+            noise_seed: 6,
+        };
+        let (_, hv_frac, explored, bofl_n, true_n) =
+            pareto_table(TaskKind::Cifar10Vit, scale);
+        assert!(
+            hv_frac > 0.85,
+            "BoFL front captures ≥85% of the true hypervolume, got {hv_frac:.3}"
+        );
+        assert!(hv_frac <= 1.0 + 0.05, "cannot beat the truth beyond noise");
+        assert!(
+            explored < 0.10,
+            "exploration should stay below 10% of the space, got {:.1}%",
+            explored * 100.0
+        );
+        assert!(bofl_n >= 3, "need a non-trivial searched front");
+        assert!(true_n >= 5, "true front should have several points");
+    }
+}

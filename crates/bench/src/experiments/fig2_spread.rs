@@ -1,0 +1,99 @@
+//! Fig. 2 verification: the paper's headline motivation claim that "a
+//! proper DVFS configuration may lead to 8× faster training speed and 4×
+//! less energy consumption" — i.e. the spread of the latency and
+//! energy-efficiency surfaces over the whole configuration space.
+
+use crate::experiments::common::device_for;
+use crate::report::{f, Report, Table};
+use bofl_workload::{FlTask, TaskKind, Testbed};
+
+/// Computes the latency spread (`max T / min T`) and energy spread
+/// (`max E / min E`) over the full configuration space of each task on
+/// each device.
+pub fn figure() -> Report {
+    let mut report = Report::new("Figure 2: configuration-space performance spread");
+    let mut t = Table::new(
+        "fig2_spread",
+        &[
+            "device",
+            "task",
+            "latency_spread",
+            "energy_spread",
+            "min_latency_s",
+            "max_latency_s",
+            "min_energy_j",
+            "max_energy_j",
+        ],
+    );
+    for testbed in Testbed::all() {
+        let device = device_for(testbed);
+        for kind in TaskKind::all() {
+            let task = FlTask::preset(kind, testbed);
+            let profile = device.profile_all(&task);
+            let (mut lat_min, mut lat_max) = (f64::INFINITY, 0.0f64);
+            let (mut en_min, mut en_max) = (f64::INFINITY, 0.0f64);
+            for p in &profile {
+                lat_min = lat_min.min(p.cost.latency_s);
+                lat_max = lat_max.max(p.cost.latency_s);
+                en_min = en_min.min(p.cost.energy_j);
+                en_max = en_max.max(p.cost.energy_j);
+            }
+            t.push_row(vec![
+                device.name().to_string(),
+                kind.to_string(),
+                f(lat_max / lat_min, 1),
+                f(en_max / en_min, 1),
+                f(lat_min, 3),
+                f(lat_max, 3),
+                f(en_min, 2),
+                f(en_max, 2),
+            ]);
+        }
+    }
+    report.note("Paper Fig. 2: a good configuration can be ≈8× faster and ≈4× more");
+    report.note("energy-efficient than a bad one; the spreads below bound that claim");
+    report.note("on the simulated devices.");
+    report.push_table(t);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreads_match_paper_magnitudes() {
+        let r = figure();
+        let t = &r.tables[0];
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            let lat_spread: f64 = row[2].parse().unwrap();
+            let en_spread: f64 = row[3].parse().unwrap();
+            // The paper claims up to ≈8× speed and ≈4× energy differences;
+            // every task should show multi-× spreads and at least one
+            // should reach the claimed order.
+            assert!(
+                lat_spread > 2.0,
+                "{} {}: latency spread {lat_spread} too small",
+                row[0],
+                row[1]
+            );
+            assert!(
+                en_spread > 1.5,
+                "{} {}: energy spread {en_spread} too small",
+                row[0],
+                row[1]
+            );
+            assert!(lat_spread < 40.0, "latency spread implausibly large");
+        }
+        let max_lat: f64 = t
+            .rows
+            .iter()
+            .map(|r| r[2].parse::<f64>().unwrap())
+            .fold(0.0, f64::max);
+        assert!(
+            max_lat >= 4.0,
+            "at least one task should show a ≳4-8× speed spread, got {max_lat}"
+        );
+    }
+}

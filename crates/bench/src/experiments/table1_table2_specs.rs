@@ -1,0 +1,133 @@
+//! Table 1 (testbed hardware specifications) and Table 2 (FL task
+//! specifications including the measured `T_min` values).
+
+use crate::experiments::common::device_for;
+use crate::report::{f, Report, Table};
+use bofl_device::Device;
+use bofl_workload::{FlTask, TaskKind, Testbed};
+
+/// Regenerates Table 1: the per-unit frequency ranges and grid sizes.
+pub fn table1() -> Report {
+    let mut report = Report::new("Table 1: BoFL Testbed Hardware Specifications");
+    let mut t = Table::new(
+        "table1_specs",
+        &[
+            "device",
+            "cpu_range_ghz",
+            "cpu_steps",
+            "gpu_range_ghz",
+            "gpu_steps",
+            "mem_range_ghz",
+            "mem_steps",
+            "configs",
+        ],
+    );
+    for bed in Testbed::all() {
+        let d = device_for(bed);
+        let s = d.config_space();
+        let range = |t: &bofl_device::FreqTable| {
+            format!("{:.2}-{:.2}", t.min().as_ghz(), t.max().as_ghz())
+        };
+        t.push_row(vec![
+            d.name().to_string(),
+            range(s.cpu_table()),
+            s.cpu_table().len().to_string(),
+            range(s.gpu_table()),
+            s.gpu_table().len().to_string(),
+            range(s.mem_table()),
+            s.mem_table().len().to_string(),
+            s.len().to_string(),
+        ]);
+    }
+    report.note("Paper: AGX 25×14×6 = 2100 configurations, TX2 12×13×6 = 936.");
+    report.push_table(t);
+    report
+}
+
+/// Regenerates Table 2: task parameters plus the *measured* `T_min`
+/// (round latency with every clock at maximum) on the simulated devices,
+/// next to the paper's values.
+pub fn table2() -> Report {
+    let mut report = Report::new("Table 2: Federated Learning Task Specifications");
+    let mut t = Table::new(
+        "table2_tasks",
+        &[
+            "task",
+            "B",
+            "E",
+            "N_agx",
+            "N_tx2",
+            "tmin_agx_s",
+            "paper_agx_s",
+            "tmin_tx2_s",
+            "paper_tx2_s",
+        ],
+    );
+    let paper_tmin = |kind: TaskKind, bed: Testbed| -> f64 {
+        match (kind, bed) {
+            (TaskKind::Cifar10Vit, Testbed::JetsonAgx) => 37.2,
+            (TaskKind::Cifar10Vit, Testbed::JetsonTx2) => 36.0,
+            (TaskKind::ImagenetResnet50, Testbed::JetsonAgx) => 46.9,
+            (TaskKind::ImagenetResnet50, Testbed::JetsonTx2) => 49.2,
+            (TaskKind::ImdbLstm, Testbed::JetsonAgx) => 46.1,
+            (TaskKind::ImdbLstm, Testbed::JetsonTx2) => 55.6,
+            _ => unreachable!("exhaustive presets"),
+        }
+    };
+    for kind in TaskKind::all() {
+        let agx_task = FlTask::preset(kind, Testbed::JetsonAgx);
+        let tx2_task = FlTask::preset(kind, Testbed::JetsonTx2);
+        let tmin = |d: &Device, task: &FlTask| d.round_latency_at_max(task);
+        t.push_row(vec![
+            kind.to_string(),
+            agx_task.minibatch_size().to_string(),
+            agx_task.epochs().to_string(),
+            agx_task.minibatches().to_string(),
+            tx2_task.minibatches().to_string(),
+            f(tmin(&device_for(Testbed::JetsonAgx), &agx_task), 1),
+            f(paper_tmin(kind, Testbed::JetsonAgx), 1),
+            f(tmin(&device_for(Testbed::JetsonTx2), &tx2_task), 1),
+            f(paper_tmin(kind, Testbed::JetsonTx2), 1),
+        ]);
+    }
+    report.note("|T| = 100 rounds; T_max/T_min ∈ {2.0, 2.5, 3.0, 3.5, 4.0}.");
+    report.note("tmin_* are measured on the simulator; paper_* from Table 2.");
+    report.push_table(t);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_grid_sizes() {
+        let r = table1();
+        let t = &r.tables[0];
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].last().unwrap(), "2100");
+        assert_eq!(t.rows[1].last().unwrap(), "936");
+    }
+
+    #[test]
+    fn table2_tmin_within_ten_percent() {
+        let r = table2();
+        let t = &r.tables[0];
+        for row in &t.rows {
+            let sim_agx: f64 = row[5].parse().unwrap();
+            let paper_agx: f64 = row[6].parse().unwrap();
+            assert!(
+                ((sim_agx - paper_agx) / paper_agx).abs() < 0.10,
+                "{}: AGX {sim_agx} vs {paper_agx}",
+                row[0]
+            );
+            let sim_tx2: f64 = row[7].parse().unwrap();
+            let paper_tx2: f64 = row[8].parse().unwrap();
+            assert!(
+                ((sim_tx2 - paper_tx2) / paper_tx2).abs() < 0.10,
+                "{}: TX2 {sim_tx2} vs {paper_tx2}",
+                row[0]
+            );
+        }
+    }
+}

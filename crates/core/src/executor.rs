@@ -1,0 +1,117 @@
+use bofl_device::{ConfigSpace, DvfsConfig, JobCost};
+
+/// The controller's window onto the device during a round: run jobs,
+/// observe measured costs, watch the clock.
+///
+/// The experiment runner implements this over the simulated
+/// [`bofl_device::Device`]; on real hardware the same trait would wrap the
+/// PyTorch training loop, the CUDA event timers and the INA3221 sysfs
+/// reads (paper §5.2 modules 1–3).
+pub trait JobExecutor {
+    /// The device's DVFS configuration space.
+    fn config_space(&self) -> &ConfigSpace;
+
+    /// Runs one minibatch job at configuration `x` and returns the
+    /// *measured* per-job cost (latency with jitter, sensor-read energy).
+    /// Advances the round clock by the job latency plus any DVFS
+    /// transition latency.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x` is not on the device grid — the
+    /// controller is responsible for only requesting grid points.
+    fn run_job(&mut self, x: DvfsConfig) -> JobCost;
+
+    /// Seconds elapsed since the start of the current round.
+    fn elapsed_s(&self) -> f64;
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+    use bofl_device::FreqTable;
+
+    /// A deterministic in-memory executor for controller unit tests: cost
+    /// is a simple decreasing function of total frequency, no noise.
+    pub struct FakeExecutor {
+        space: ConfigSpace,
+        elapsed: f64,
+        pub jobs_run: Vec<DvfsConfig>,
+        pub energy_total: f64,
+    }
+
+    impl FakeExecutor {
+        pub fn new() -> Self {
+            FakeExecutor {
+                space: ConfigSpace::new(
+                    FreqTable::linspace_mhz(400, 2000, 5),
+                    FreqTable::linspace_mhz(200, 1400, 4),
+                    FreqTable::linspace_mhz(400, 1600, 3),
+                ),
+                elapsed: 0.0,
+                jobs_run: Vec::new(),
+                energy_total: 0.0,
+            }
+        }
+
+        /// The deterministic ground-truth cost used by the fake.
+        pub fn true_cost(x: DvfsConfig) -> JobCost {
+            // Latency falls with every clock; energy has a sweet spot in
+            // the middle of the range (non-monotone like the real model).
+            let c = x.cpu.as_ghz();
+            let g = x.gpu.as_ghz();
+            let m = x.mem.as_ghz();
+            let latency_s = 0.05 + 0.2 / c + 0.3 / g + 0.05 / m;
+            let power_w = 2.0 + 1.5 * c * c + 3.0 * g * g + 0.5 * m;
+            JobCost {
+                latency_s,
+                energy_j: power_w * latency_s,
+            }
+        }
+
+    }
+
+    impl JobExecutor for FakeExecutor {
+        fn config_space(&self) -> &ConfigSpace {
+            &self.space
+        }
+
+        fn run_job(&mut self, x: DvfsConfig) -> JobCost {
+            assert!(self.space.contains(x), "off-grid config {x}");
+            let cost = Self::true_cost(x);
+            self.elapsed += cost.latency_s;
+            self.energy_total += cost.energy_j;
+            self.jobs_run.push(x);
+            cost
+        }
+
+        fn elapsed_s(&self) -> f64 {
+            self.elapsed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::FakeExecutor;
+    use super::*;
+
+    #[test]
+    fn fake_executor_accumulates() {
+        let mut e = FakeExecutor::new();
+        let x = e.config_space().x_max();
+        let c1 = e.run_job(x);
+        let c2 = e.run_job(x);
+        assert_eq!(c1, c2); // deterministic
+        assert!((e.elapsed_s() - 2.0 * c1.latency_s).abs() < 1e-12);
+        assert_eq!(e.jobs_run.len(), 2);
+    }
+
+    #[test]
+    fn fake_cost_orders_configs() {
+        let e = FakeExecutor::new();
+        let fast = FakeExecutor::true_cost(e.config_space().x_max());
+        let slow = FakeExecutor::true_cost(e.config_space().x_min());
+        assert!(fast.latency_s < slow.latency_s);
+    }
+}

@@ -1,0 +1,221 @@
+use bofl_device::{ConfigIndex, ConfigSpace, DvfsConfig, JobCost};
+use std::collections::HashMap;
+
+/// Aggregated measurements for one configuration: job-weighted averages of
+/// latency and energy over every job executed at that configuration.
+///
+/// BoFL measures each configuration for at least `τ` seconds (several
+/// jobs) precisely so these averages are trustworthy; the store performs
+/// the aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AggregatedObservation {
+    /// The observed configuration.
+    pub config: DvfsConfig,
+    /// Jobs executed at this configuration.
+    pub jobs: u64,
+    /// Total measured latency across those jobs, seconds.
+    pub total_latency_s: f64,
+    /// Total measured energy across those jobs, joules.
+    pub total_energy_j: f64,
+}
+
+impl AggregatedObservation {
+    /// Mean per-job latency `T̂(x)`.
+    pub fn mean_latency_s(&self) -> f64 {
+        self.total_latency_s / self.jobs as f64
+    }
+
+    /// Mean per-job energy `Ê(x)`.
+    pub fn mean_energy_j(&self) -> f64 {
+        self.total_energy_j / self.jobs as f64
+    }
+
+    /// The mean cost as a [`JobCost`].
+    pub fn mean_cost(&self) -> JobCost {
+        JobCost {
+            latency_s: self.mean_latency_s(),
+            energy_j: self.mean_energy_j(),
+        }
+    }
+}
+
+/// The controller's memory of everything it has measured, keyed by grid
+/// index.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationStore {
+    by_index: HashMap<ConfigIndex, AggregatedObservation>,
+    /// Indices in first-observation order (stable reporting).
+    order: Vec<ConfigIndex>,
+}
+
+impl ObservationStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed job. Returns `true` if this was the first job
+    /// ever run at `config`.
+    pub fn record(&mut self, space: &ConfigSpace, config: DvfsConfig, cost: JobCost) -> bool {
+        let index = space
+            .index_of(config)
+            .expect("observations must be grid points");
+        match self.by_index.get_mut(&index) {
+            Some(agg) => {
+                agg.jobs += 1;
+                agg.total_latency_s += cost.latency_s;
+                agg.total_energy_j += cost.energy_j;
+                false
+            }
+            None => {
+                self.by_index.insert(
+                    index,
+                    AggregatedObservation {
+                        config,
+                        jobs: 1,
+                        total_latency_s: cost.latency_s,
+                        total_energy_j: cost.energy_j,
+                    },
+                );
+                self.order.push(index);
+                true
+            }
+        }
+    }
+
+    /// The aggregate for a configuration, if it has been observed.
+    pub fn get(&self, index: ConfigIndex) -> Option<&AggregatedObservation> {
+        self.by_index.get(&index)
+    }
+
+    /// The aggregate for a configuration value, if observed.
+    pub fn get_config(&self, space: &ConfigSpace, config: DvfsConfig) -> Option<&AggregatedObservation> {
+        space.index_of(config).and_then(|i| self.by_index.get(&i))
+    }
+
+    /// Number of distinct configurations observed.
+    pub fn len(&self) -> usize {
+        self.by_index.len()
+    }
+
+    /// `true` if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_index.is_empty()
+    }
+
+    /// Iterates over aggregates in first-observation order.
+    pub fn iter(&self) -> impl Iterator<Item = &AggregatedObservation> + '_ {
+        self.order.iter().map(|i| &self.by_index[i])
+    }
+
+    /// Grid indices in first-observation order.
+    pub fn indices(&self) -> &[ConfigIndex] {
+        &self.order
+    }
+
+    /// The observed configurations whose mean costs are Pareto-optimal
+    /// (energy, latency both minimized), in first-observation order.
+    pub fn pareto_set(&self) -> Vec<&AggregatedObservation> {
+        let all: Vec<&AggregatedObservation> = self.iter().collect();
+        all.iter()
+            .filter(|a| {
+                !all.iter().any(|b| {
+                    b.config != a.config && b.mean_cost().dominates(&a.mean_cost())
+                })
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Worst observed mean energy and latency — the reference-point
+    /// ingredients of the paper's §4.3.
+    pub fn worst_objectives(&self) -> Option<[f64; 2]> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut worst = [f64::NEG_INFINITY; 2];
+        for a in self.iter() {
+            worst[0] = worst[0].max(a.mean_energy_j());
+            worst[1] = worst[1].max(a.mean_latency_s());
+        }
+        Some(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bofl_device::{ConfigSpace, FreqMHz, FreqTable};
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::new(
+            FreqTable::from_mhz(&[100, 200]),
+            FreqTable::from_mhz(&[300, 400]),
+            FreqTable::from_mhz(&[500, 600]),
+        )
+    }
+
+    fn cfg(c: u32, g: u32, m: u32) -> DvfsConfig {
+        DvfsConfig::new(FreqMHz::new(c), FreqMHz::new(g), FreqMHz::new(m))
+    }
+
+    #[test]
+    fn record_aggregates() {
+        let sp = space();
+        let mut store = ObservationStore::new();
+        let x = cfg(100, 300, 500);
+        assert!(store.record(&sp, x, JobCost { latency_s: 0.2, energy_j: 4.0 }));
+        assert!(!store.record(&sp, x, JobCost { latency_s: 0.4, energy_j: 6.0 }));
+        let agg = store.get_config(&sp, x).unwrap();
+        assert_eq!(agg.jobs, 2);
+        assert!((agg.mean_latency_s() - 0.3).abs() < 1e-12);
+        assert!((agg.mean_energy_j() - 5.0).abs() < 1e-12);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn pareto_set_filters_dominated() {
+        let sp = space();
+        let mut store = ObservationStore::new();
+        store.record(&sp, cfg(100, 300, 500), JobCost { latency_s: 0.2, energy_j: 5.0 });
+        store.record(&sp, cfg(200, 300, 500), JobCost { latency_s: 0.4, energy_j: 3.0 });
+        store.record(&sp, cfg(100, 400, 500), JobCost { latency_s: 0.5, energy_j: 6.0 }); // dominated
+        let pareto = store.pareto_set();
+        assert_eq!(pareto.len(), 2);
+        assert!(pareto.iter().all(|a| a.mean_latency_s() < 0.45));
+    }
+
+    #[test]
+    fn worst_objectives() {
+        let sp = space();
+        let mut store = ObservationStore::new();
+        assert_eq!(store.worst_objectives(), None);
+        store.record(&sp, cfg(100, 300, 500), JobCost { latency_s: 0.2, energy_j: 5.0 });
+        store.record(&sp, cfg(200, 400, 600), JobCost { latency_s: 0.7, energy_j: 3.0 });
+        assert_eq!(store.worst_objectives(), Some([5.0, 0.7]));
+    }
+
+    #[test]
+    fn iteration_order_is_first_observed() {
+        let sp = space();
+        let mut store = ObservationStore::new();
+        let a = cfg(200, 400, 600);
+        let b = cfg(100, 300, 500);
+        store.record(&sp, a, JobCost { latency_s: 0.1, energy_j: 1.0 });
+        store.record(&sp, b, JobCost { latency_s: 0.2, energy_j: 2.0 });
+        store.record(&sp, a, JobCost { latency_s: 0.1, energy_j: 1.0 });
+        let order: Vec<DvfsConfig> = store.iter().map(|o| o.config).collect();
+        assert_eq!(order, vec![a, b]);
+        assert_eq!(store.indices().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid points")]
+    fn rejects_off_grid() {
+        let sp = space();
+        let mut store = ObservationStore::new();
+        store.record(&sp, cfg(150, 300, 500), JobCost { latency_s: 0.1, energy_j: 1.0 });
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end test: BoFL vs Performant vs Oracle on the simulated Jetson
+//! AGX, small-scale version of the paper's headline experiment (Fig. 9).
+
+use bofl::baselines::{OracleController, PerformantController};
+use bofl::metrics::{improvement_vs, regret_vs, walkthrough};
+use bofl::prelude::*;
+use bofl::Phase;
+
+fn agx_vit() -> (Device, FlTask) {
+    (
+        Device::jetson_agx(),
+        FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx),
+    )
+}
+
+#[test]
+fn bofl_beats_performant_and_approaches_oracle() {
+    let (device, task) = agx_vit();
+    let rounds = 30;
+    let sched = DeadlineSchedule::uniform(&device, &task, rounds, 2.0, 2022);
+    let runner = ClientRunner::new(device.clone(), task.clone(), 7);
+
+    let mut bofl = BoflController::new(BoflConfig::fast_test());
+    let bofl_run = runner.run(&mut bofl, sched.deadlines());
+
+    let mut performant = PerformantController::new();
+    let perf_run = runner.run(&mut performant, sched.deadlines());
+
+    let profile = device.profile_all(&task);
+    let mut oracle = OracleController::new(profile);
+    let oracle_run = runner.run(&mut oracle, sched.deadlines());
+
+    // Every controller meets every deadline.
+    assert_eq!(bofl_run.deadlines_met(), rounds, "BoFL missed deadlines");
+    assert_eq!(perf_run.deadlines_met(), rounds);
+    assert_eq!(oracle_run.deadlines_met(), rounds);
+
+    // Ordering: Oracle ≤ BoFL < Performant on total energy.
+    let improvement = improvement_vs(&bofl_run, &perf_run);
+    let regret = regret_vs(&bofl_run, &oracle_run);
+    assert!(
+        improvement > 0.05,
+        "BoFL should save ≥5% energy vs Performant even in 30 rounds, got {:.1}%",
+        improvement * 100.0
+    );
+    assert!(
+        regret > -0.02,
+        "BoFL cannot beat the oracle beyond noise: regret {:.2}%",
+        regret * 100.0
+    );
+    assert!(
+        regret < 0.35,
+        "BoFL regret should be modest over 30 rounds, got {:.1}%",
+        regret * 100.0
+    );
+}
+
+#[test]
+fn bofl_transitions_through_all_three_phases() {
+    let (device, task) = agx_vit();
+    let rounds = 25;
+    let sched = DeadlineSchedule::uniform(&device, &task, rounds, 3.0, 11);
+    let runner = ClientRunner::new(device, task, 3);
+
+    let mut bofl = BoflController::new(BoflConfig::fast_test());
+    let run = runner.run(&mut bofl, sched.deadlines());
+
+    let p1 = run.phase_reports(Phase::RandomExploration).count();
+    let p2 = run.phase_reports(Phase::ParetoConstruction).count();
+    let p3 = run.phase_reports(Phase::Exploitation).count();
+    assert!(p1 >= 1, "no random-exploration rounds");
+    assert!(p2 >= 1, "no pareto-construction rounds");
+    assert!(p3 >= 5, "exploitation should dominate, got {p3} rounds");
+    assert_eq!(p1 + p2 + p3, rounds);
+
+    // Phase-1 explores ≈1% of the space (21 points on the AGX, + x_max).
+    let explored_p1: usize = run
+        .phase_reports(Phase::RandomExploration)
+        .map(|r| r.explored.len())
+        .sum();
+    assert!(
+        (18..=25).contains(&explored_p1),
+        "phase 1 explored {explored_p1} configurations, expected ≈22"
+    );
+
+    // Walkthrough (Table 3) is consistent with the run reports.
+    let pareto_indices: Vec<_> = bofl
+        .pareto_configs()
+        .into_iter()
+        .filter_map(|c| runner_space_index(&runner, c))
+        .collect();
+    let rows = walkthrough(&run, &pareto_indices);
+    assert_eq!(rows.len(), p1 + p2);
+    let total_explored: usize = rows.iter().map(|r| r.explorations).sum();
+    assert_eq!(total_explored, run.total_explored());
+    // The ultimate Pareto set must contain points found during the run.
+    let total_hits: usize = rows.iter().map(|r| r.pareto_hits).sum();
+    assert_eq!(total_hits, pareto_indices.len());
+}
+
+fn runner_space_index(
+    runner: &ClientRunner,
+    config: DvfsConfig,
+) -> Option<bofl_device::ConfigIndex> {
+    runner.device().config_space().index_of(config)
+}
+
+#[test]
+fn longer_deadlines_save_more_energy() {
+    // Fig. 12 in miniature: the improvement over Performant grows with
+    // the deadline ratio.
+    let (device, task) = agx_vit();
+    let rounds = 20;
+    let runner = ClientRunner::new(device.clone(), task.clone(), 13);
+    let mut improvements = Vec::new();
+    for ratio in [1.5, 3.0] {
+        let sched = DeadlineSchedule::uniform(&device, &task, rounds, ratio, 5);
+        let mut bofl = BoflController::new(BoflConfig::fast_test());
+        let bofl_run = runner.run(&mut bofl, sched.deadlines());
+        let perf_run = runner.run(&mut PerformantController::new(), sched.deadlines());
+        assert_eq!(bofl_run.deadlines_met(), rounds, "ratio {ratio}");
+        improvements.push(improvement_vs(&bofl_run, &perf_run));
+    }
+    assert!(
+        improvements[1] > improvements[0],
+        "larger deadline ratio should help: {improvements:?}"
+    );
+}

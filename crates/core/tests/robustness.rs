@@ -1,0 +1,151 @@
+//! Robustness tests: the controller under randomized scenarios and
+//! injected failures (straggler spikes, hostile deadline sequences).
+
+use bofl::prelude::*;
+use bofl_device::{ConfigSpace, DvfsConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A wrapper executor that multiplies the latency of random jobs by a
+/// spike factor — modeling thermal throttling, background daemons or
+/// memory pressure that the controller cannot predict.
+struct SpikyExecutor<E> {
+    inner: E,
+    spike_probability: f64,
+    spike_factor: f64,
+    rng: StdRng,
+    extra_elapsed: f64,
+    spikes: usize,
+}
+
+impl<E: JobExecutor> SpikyExecutor<E> {
+    fn new(inner: E, probability: f64, factor: f64, seed: u64) -> Self {
+        SpikyExecutor {
+            inner,
+            spike_probability: probability,
+            spike_factor: factor,
+            rng: StdRng::seed_from_u64(seed),
+            extra_elapsed: 0.0,
+            spikes: 0,
+        }
+    }
+}
+
+impl<E: JobExecutor> JobExecutor for SpikyExecutor<E> {
+    fn config_space(&self) -> &ConfigSpace {
+        self.inner.config_space()
+    }
+
+    fn run_job(&mut self, x: DvfsConfig) -> JobCost {
+        let mut cost = self.inner.run_job(x);
+        if self.rng.gen::<f64>() < self.spike_probability {
+            let extra = cost.latency_s * (self.spike_factor - 1.0);
+            self.extra_elapsed += extra;
+            cost.latency_s *= self.spike_factor;
+            cost.energy_j *= self.spike_factor; // device stays powered
+            self.spikes += 1;
+        }
+        cost
+    }
+
+    fn elapsed_s(&self) -> f64 {
+        self.inner.elapsed_s() + self.extra_elapsed
+    }
+}
+
+/// Drives the controller manually through spiky rounds (the ClientRunner
+/// cannot wrap executors, so this test drives `run_round` directly).
+#[test]
+fn bofl_survives_latency_spikes() {
+    use bofl::runner::SimExecutor;
+    use bofl::task::PaceController;
+
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
+    let t_min = device.round_latency_at_max(&task);
+    let jobs = task.jobs_per_round();
+    let mut ctrl = BoflController::new(BoflConfig::fast_test());
+
+    let mut missed = 0;
+    let mut total_spikes = 0;
+    for round in 0..15 {
+        // Generous deadline (×2.5): spikes eat slack, guardian must adapt.
+        let deadline = t_min * 2.5;
+        let inner = SimExecutor::new(&device, &task, 100 + round as u64);
+        let mut exec = SpikyExecutor::new(inner, 0.02, 4.0, 900 + round as u64);
+        let spec = bofl::RoundSpec::new(round, jobs, deadline);
+        ctrl.run_round(&spec, &mut exec);
+        if exec.elapsed_s() > deadline {
+            missed += 1;
+        }
+        total_spikes += exec.spikes;
+    }
+    assert!(total_spikes > 20, "spikes must actually occur: {total_spikes}");
+    assert!(
+        missed <= 1,
+        "BoFL should absorb 2% spike rate at ratio 2.5, missed {missed}/15"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Across random tasks, testbeds, deadline ratios and seeds, the
+    /// guarded controller never misses a deadline and always runs every
+    /// job.
+    #[test]
+    fn guarded_controller_never_misses(
+        kind_idx in 0usize..3,
+        agx in proptest::bool::ANY,
+        ratio in 1.3f64..4.0,
+        seed in 0u64..1000,
+    ) {
+        let (device, testbed) = if agx {
+            (Device::jetson_agx(), Testbed::JetsonAgx)
+        } else {
+            (Device::jetson_tx2(), Testbed::JetsonTx2)
+        };
+        let task = FlTask::preset(TaskKind::all()[kind_idx], testbed);
+        let rounds = 8;
+        let schedule = DeadlineSchedule::uniform(&device, &task, rounds, ratio, seed);
+        let runner = ClientRunner::new(device, task.clone(), seed ^ 0xF00D);
+        let mut ctrl = BoflController::new(BoflConfig::fast_test());
+        let run = runner.run(&mut ctrl, schedule.deadlines());
+        prop_assert_eq!(run.deadlines_met(), rounds);
+        prop_assert!(run.reports.iter().all(|r| r.jobs == task.jobs_per_round()));
+        prop_assert!(run.total_energy_j() > 0.0);
+    }
+
+    /// Deadline schedules respect their documented bounds for any ratio.
+    #[test]
+    fn schedules_respect_bounds(ratio in 1.0f64..6.0, seed in 0u64..500, rounds in 1usize..50) {
+        let device = Device::jetson_tx2();
+        let task = FlTask::preset(TaskKind::ImdbLstm, Testbed::JetsonTx2);
+        let s = DeadlineSchedule::uniform(&device, &task, rounds, ratio, seed);
+        let t_min = s.t_min_s();
+        prop_assert_eq!(s.deadlines().len(), rounds);
+        for &d in s.deadlines() {
+            prop_assert!(d >= t_min - 1e-9);
+            prop_assert!(d <= ratio * t_min + 1e-9);
+        }
+    }
+}
+
+/// A hostile deadline sequence: alternating loose and barely-feasible
+/// rounds. The guardian must adapt its exploration budget round by round.
+#[test]
+fn alternating_tight_loose_deadlines() {
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::ImagenetResnet50, Testbed::JetsonAgx);
+    let t_min = device.round_latency_at_max(&task);
+    let deadlines: Vec<f64> = (0..16)
+        .map(|i| if i % 2 == 0 { t_min * 1.06 } else { t_min * 3.5 })
+        .collect();
+    let runner = ClientRunner::new(device, task, 55);
+    let mut ctrl = BoflController::new(BoflConfig::fast_test());
+    let run = runner.run(&mut ctrl, &deadlines);
+    assert_eq!(run.deadlines_met(), 16, "hostile alternation broke a deadline");
+    // Exploration should still happen — concentrated in the loose rounds.
+    assert!(run.total_explored() >= 10, "exploration starved");
+}

@@ -1,0 +1,75 @@
+//! Calibration checks: the simulated devices must reproduce the paper's
+//! Table 2 round latencies (T_min) and plausible energy envelopes.
+
+use bofl_device::Device;
+use bofl_workload::{FlTask, TaskKind, Testbed};
+
+fn check(device: &Device, testbed: Testbed, kind: TaskKind, tmin_paper: f64, tol: f64) {
+    let task = FlTask::preset(kind, testbed);
+    let tmin = device.round_latency_at_max(&task);
+    let rel = (tmin - tmin_paper) / tmin_paper;
+    assert!(
+        rel.abs() <= tol,
+        "{kind} on {testbed}: simulated T_min {tmin:.1} s vs paper {tmin_paper:.1} s ({:+.1}%)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn agx_tmin_matches_table2() {
+    let agx = Device::jetson_agx();
+    check(&agx, Testbed::JetsonAgx, TaskKind::Cifar10Vit, 37.2, 0.10);
+    check(&agx, Testbed::JetsonAgx, TaskKind::ImagenetResnet50, 46.9, 0.10);
+    check(&agx, Testbed::JetsonAgx, TaskKind::ImdbLstm, 46.1, 0.10);
+}
+
+#[test]
+fn tx2_tmin_matches_table2() {
+    let tx2 = Device::jetson_tx2();
+    check(&tx2, Testbed::JetsonTx2, TaskKind::Cifar10Vit, 36.0, 0.10);
+    check(&tx2, Testbed::JetsonTx2, TaskKind::ImagenetResnet50, 49.2, 0.10);
+    check(&tx2, Testbed::JetsonTx2, TaskKind::ImdbLstm, 55.6, 0.10);
+}
+
+#[test]
+fn energy_per_minibatch_envelopes() {
+    // Fig. 11 energy ranges on AGX: ViT 3.5–5.0 J, ResNet 4.8–7.2 J,
+    // LSTM 4.8–7.2 J at/near x_max. Allow generous envelopes.
+    let agx = Device::jetson_agx();
+    let cases = [
+        (TaskKind::Cifar10Vit, 3.2, 5.5),
+        (TaskKind::ImagenetResnet50, 4.3, 8.0),
+        (TaskKind::ImdbLstm, 4.3, 8.0),
+    ];
+    for (kind, lo, hi) in cases {
+        let task = FlTask::preset(kind, Testbed::JetsonAgx);
+        let e = agx.true_cost(&task, agx.config_space().x_max()).energy_j;
+        assert!(
+            (lo..=hi).contains(&e),
+            "{kind} AGX energy/minibatch {e:.2} J outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn cross_device_speedups_match_fig5_shape() {
+    // Fig. 5a: AGX latency normalized to TX2 at x_max. Paper reports
+    // ViT 0.39, ResNet50 0.32; for LSTM the paper's Fig. 5 (0.80) is
+    // inconsistent with its own Table 2 (which implies ≈ 0.41) — we
+    // follow Table 2 (see EXPERIMENTS.md).
+    let agx = Device::jetson_agx();
+    let tx2 = Device::jetson_tx2();
+    let ratio = |kind: TaskKind| {
+        let ta = FlTask::preset(kind, Testbed::JetsonAgx);
+        let tt = FlTask::preset(kind, Testbed::JetsonTx2);
+        agx.true_cost(&ta, agx.config_space().x_max()).latency_s
+            / tx2.true_cost(&tt, tx2.config_space().x_max()).latency_s
+    };
+    let vit = ratio(TaskKind::Cifar10Vit);
+    let resnet = ratio(TaskKind::ImagenetResnet50);
+    let lstm = ratio(TaskKind::ImdbLstm);
+    assert!((0.30..=0.50).contains(&vit), "ViT ratio {vit:.2}");
+    assert!((0.25..=0.42).contains(&resnet), "ResNet ratio {resnet:.2}");
+    assert!(lstm > resnet, "LSTM should benefit least from AGX");
+    assert!((0.33..=0.90).contains(&lstm), "LSTM ratio {lstm:.2}");
+}

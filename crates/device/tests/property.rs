@@ -1,0 +1,100 @@
+//! Property-based tests for the device simulator.
+
+use bofl_device::{ConfigIndex, ConfigSpace, Device, DvfsConfig, FreqMHz, FreqTable};
+use bofl_workload::{FlTask, TaskKind, Testbed};
+use proptest::prelude::*;
+
+fn any_task() -> impl Strategy<Value = (FlTask, Testbed)> {
+    (0usize..3, prop::bool::ANY).prop_map(|(k, agx)| {
+        let kind = TaskKind::all()[k];
+        let bed = if agx {
+            Testbed::JetsonAgx
+        } else {
+            Testbed::JetsonTx2
+        };
+        (FlTask::preset(kind, bed), bed)
+    })
+}
+
+fn device_for(bed: Testbed) -> Device {
+    match bed {
+        Testbed::JetsonAgx => Device::jetson_agx(),
+        Testbed::JetsonTx2 => Device::jetson_tx2(),
+        _ => unreachable!("only two testbeds exist"),
+    }
+}
+
+proptest! {
+    /// Latency is monotone non-increasing along every single frequency
+    /// axis: raising one clock while holding the others fixed never slows
+    /// the job down (it may not speed it up — that is the non-linearity).
+    #[test]
+    fn latency_monotone_per_axis((task, bed) in any_task(), seed in 0usize..500) {
+        let dev = device_for(bed);
+        let space = dev.config_space();
+        let idx = seed % space.len();
+        let x = space.get(ConfigIndex(idx)).unwrap();
+
+        let lat = |x: DvfsConfig| dev.true_cost(&task, x).latency_s;
+        let base = lat(x);
+
+        let up = |t: &FreqTable, f: FreqMHz| {
+            t.position(f).and_then(|i| t.get(i + 1))
+        };
+        if let Some(c) = up(space.cpu_table(), x.cpu) {
+            prop_assert!(lat(DvfsConfig::new(c, x.gpu, x.mem)) <= base + 1e-12);
+        }
+        if let Some(g) = up(space.gpu_table(), x.gpu) {
+            prop_assert!(lat(DvfsConfig::new(x.cpu, g, x.mem)) <= base + 1e-12);
+        }
+        if let Some(m) = up(space.mem_table(), x.mem) {
+            prop_assert!(lat(DvfsConfig::new(x.cpu, x.gpu, m)) <= base + 1e-12);
+        }
+    }
+
+    /// Energy and latency are strictly positive and finite everywhere.
+    #[test]
+    fn costs_positive_finite((task, bed) in any_task(), seed in 0usize..997) {
+        let dev = device_for(bed);
+        let space = dev.config_space();
+        let x = space.get(ConfigIndex(seed % space.len())).unwrap();
+        let c = dev.true_cost(&task, x);
+        prop_assert!(c.latency_s.is_finite() && c.latency_s > 0.0);
+        prop_assert!(c.energy_j.is_finite() && c.energy_j > 0.0);
+        // Power must stay within a physically plausible envelope (< 60 W).
+        prop_assert!(c.average_power_w() > 1.0 && c.average_power_w() < 60.0);
+    }
+
+    /// Measured jobs agree with the truth up to bounded noise.
+    #[test]
+    fn measurement_noise_is_bounded((task, bed) in any_task(), seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let dev = device_for(bed);
+        let x = dev.config_space().x_max();
+        let truth = dev.true_cost(&task, x);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = dev.run_job(&task, x, &mut rng);
+        prop_assert!((m.latency_s / truth.latency_s - 1.0).abs() < 0.2);
+        prop_assert!((m.energy_j / truth.energy_j - 1.0).abs() < 0.3);
+    }
+
+    /// Unit-cube mapping is a bijection onto the grid.
+    #[test]
+    fn unit_cube_bijection(seed in 0usize..2100) {
+        let space = Device::jetson_agx().config_space().clone();
+        let x = space.get(ConfigIndex(seed % space.len())).unwrap();
+        prop_assert_eq!(space.from_unit_cube(x.to_unit_cube(&space)), x);
+    }
+}
+
+#[test]
+fn config_space_snap_is_idempotent() {
+    let space = ConfigSpace::new(
+        FreqTable::from_mhz(&[100, 350, 900]),
+        FreqTable::from_mhz(&[200, 500]),
+        FreqTable::from_mhz(&[400, 1600]),
+    );
+    let off = DvfsConfig::new(FreqMHz::new(777), FreqMHz::new(333), FreqMHz::new(401));
+    let s1 = space.snap(off);
+    assert_eq!(space.snap(s1), s1);
+}

@@ -1,0 +1,467 @@
+//! A FedAvg server with client selection, deadline assignment and
+//! straggler handling (the workflow of the paper's Fig. 1).
+
+use crate::client::FlClient;
+use crate::data::{FederatedData, SyntheticDataset};
+use crate::model::{SoftmaxModel, TrainableModel};
+use crate::network::{NetworkModel, ReportingDeadline};
+use bofl::task::PaceController;
+use bofl_device::Device;
+use bofl_workload::{FlTask, TaskKind, Testbed};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How the server selects participants each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Uniform random selection without replacement (the vanilla FedAvg
+    /// server and the paper's assumption).
+    #[default]
+    Uniform,
+    /// AutoFL-style energy-aware selection (paper §2.1): prefer clients
+    /// whose devices finish a round with less energy at `x_max`,
+    /// randomized by rank so slower devices still participate
+    /// occasionally (statistical coverage of non-IID data).
+    EnergyAware,
+}
+
+/// How the server expresses its per-round deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DeadlinePolicy {
+    /// The paper's main model: the server assigns a *training* deadline
+    /// (gradient computation must finish by then).
+    #[default]
+    Training,
+    /// The footnote-3 extension: the server assigns a *reporting*
+    /// deadline (update must be *received* by then); each client infers
+    /// its training deadline from its own bandwidth estimator and the
+    /// given uplink model.
+    Reporting(NetworkModel),
+}
+
+/// Configuration of a federated simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FederationConfig {
+    /// Total clients in the pool.
+    pub num_clients: usize,
+    /// Clients selected per round.
+    pub clients_per_round: usize,
+    /// Number of FL rounds.
+    pub rounds: usize,
+    /// Deadline ratio: each round's training deadline is drawn uniformly
+    /// from `[T_min, ratio × T_min]` of the slowest selected client.
+    pub deadline_ratio: f64,
+    /// Dirichlet α for the label-skew partition.
+    pub dirichlet_alpha: f64,
+    /// Feature dimensionality of the synthetic dataset.
+    pub feature_dims: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// SGD learning rate on the clients.
+    pub learning_rate: f64,
+    /// Probability a selected client drops out (network loss etc.).
+    pub dropout_probability: f64,
+    /// How deadlines are expressed (training vs reporting).
+    pub deadline_policy: DeadlinePolicy,
+    /// How participants are selected each round.
+    pub selection_policy: SelectionPolicy,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            num_clients: 8,
+            clients_per_round: 4,
+            rounds: 10,
+            deadline_ratio: 2.0,
+            dirichlet_alpha: 0.5,
+            feature_dims: 8,
+            classes: 4,
+            learning_rate: 0.2,
+            dropout_probability: 0.0,
+            deadline_policy: DeadlinePolicy::Training,
+            selection_policy: SelectionPolicy::Uniform,
+            seed: 42,
+        }
+    }
+}
+
+/// What happened in one federated round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Client ids selected this round.
+    pub selected: Vec<usize>,
+    /// Client ids whose updates were aggregated (met deadline, no
+    /// dropout).
+    pub aggregated: Vec<usize>,
+    /// The training deadline assigned by the server, seconds.
+    pub deadline_s: f64,
+    /// Total client energy this round, joules.
+    pub energy_j: f64,
+    /// Global-model accuracy on the held-out test set after aggregation.
+    pub test_accuracy: f64,
+    /// Global-model loss on the held-out test set after aggregation.
+    pub test_loss: f64,
+}
+
+/// Full history of a federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHistory {
+    /// Per-round records.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl RunHistory {
+    /// Total energy across all rounds and clients, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.rounds.iter().map(|r| r.energy_j).sum()
+    }
+
+    /// Final test accuracy.
+    pub fn final_accuracy(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.test_accuracy)
+    }
+}
+
+/// A complete federated simulation: server, clients, data and global
+/// model. Build one with [`Federation::builder`].
+pub struct Federation {
+    clients: Vec<FlClient>,
+    global: Box<dyn TrainableModel>,
+    test_set: SyntheticDataset,
+    config: FederationConfig,
+    model_bytes: f64,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federation")
+            .field("clients", &self.clients.len())
+            .field("rounds", &self.config.rounds)
+            .finish()
+    }
+}
+
+impl Federation {
+    /// Starts building a federation.
+    pub fn builder(config: FederationConfig) -> FederationBuilder {
+        FederationBuilder {
+            config,
+            device_factory: Box::new(|_| Device::jetson_agx()),
+            controller_factory: Box::new(|| {
+                Box::new(bofl::baselines::PerformantController::new())
+            }),
+            task: None,
+        }
+    }
+
+    /// Runs all configured rounds and returns the history.
+    pub fn run(&mut self) -> RunHistory {
+        let mut rounds = Vec::with_capacity(self.config.rounds);
+        for round in 0..self.config.rounds {
+            rounds.push(self.run_round(round));
+        }
+        RunHistory { rounds }
+    }
+
+    /// Runs one round: select → assign deadline → train → aggregate.
+    pub fn run_round(&mut self, round: usize) -> RoundRecord {
+        // 1. Client selection.
+        let mut ids: Vec<usize> = (0..self.clients.len()).collect();
+        match self.config.selection_policy {
+            SelectionPolicy::Uniform => {
+                ids.shuffle(&mut self.rng);
+            }
+            SelectionPolicy::EnergyAware => {
+                // Rank clients by their x_max round energy estimate, then
+                // soften with exponential-rank sampling so selection is
+                // biased toward efficient devices but never deterministic.
+                let mut scored: Vec<(usize, f64)> = ids
+                    .iter()
+                    .map(|&i| (i, self.clients[i].round_energy_at_max_j()))
+                    .collect();
+                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"));
+                let mut keyed: Vec<(f64, usize)> = scored
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, &(id, _))| {
+                        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        // Smaller key wins; efficient ranks get a boost.
+                        (u.ln() * -(1.0 + rank as f64 * 0.5), id)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+                ids = keyed.into_iter().map(|(_, id)| id).collect();
+            }
+        }
+        ids.truncate(self.config.clients_per_round.min(self.clients.len()));
+        ids.sort_unstable();
+
+        // 2. Deadline assignment: feasible for the slowest selected
+        //    client, scaled by a uniform draw from [1.02, ratio] (a small
+        //    headroom keeps deadlines meaningful under latency jitter).
+        let t_min_round = ids
+            .iter()
+            .map(|&i| self.clients[i].t_min_s())
+            .fold(0.0f64, f64::max);
+        let lo = 1.02f64.min(self.config.deadline_ratio);
+        let stretch = lo + (self.config.deadline_ratio - lo) * self.rng.gen::<f64>();
+        let deadline_s = t_min_round * stretch;
+
+        // 3. Local training (training- or reporting-deadline mode).
+        let global_params = self.global.parameters();
+        let mut updates: Vec<(usize, Vec<f64>, usize)> = Vec::new();
+        let mut energy_j = 0.0;
+        let mut aggregated = Vec::new();
+        for &id in &ids {
+            let result = match self.config.deadline_policy {
+                DeadlinePolicy::Training => {
+                    self.clients[id].train_round(round, &global_params, deadline_s)
+                }
+                DeadlinePolicy::Reporting(network) => {
+                    // Reporting window = training window + nominal upload
+                    // budget for this task's model.
+                    let upload = network
+                        .nominal_duration_s(self.model_bytes)
+                        * 1.5; // server-side slack for slow links
+                    self.clients[id].train_round_reporting(
+                        round,
+                        &global_params,
+                        ReportingDeadline::new(deadline_s + upload),
+                    )
+                }
+            };
+            energy_j += result.energy_j;
+            let dropped = self.rng.gen::<f64>() < self.config.dropout_probability;
+            if result.deadline_met && !dropped {
+                aggregated.push(id);
+                updates.push((id, result.parameters, result.samples));
+            }
+        }
+
+        // 4. FedAvg aggregation, weighted by sample counts.
+        if !updates.is_empty() {
+            let total: f64 = updates.iter().map(|(_, _, n)| *n as f64).sum();
+            let dim = updates[0].1.len();
+            let mut avg = vec![0.0; dim];
+            for (_, params, n) in &updates {
+                let w = *n as f64 / total;
+                for (a, p) in avg.iter_mut().zip(params) {
+                    *a += w * p;
+                }
+            }
+            self.global.set_parameters(&avg);
+        }
+
+        RoundRecord {
+            round,
+            selected: ids,
+            aggregated,
+            deadline_s,
+            energy_j,
+            test_accuracy: self
+                .global
+                .accuracy(self.test_set.features(), self.test_set.labels()),
+            test_loss: self
+                .global
+                .loss(self.test_set.features(), self.test_set.labels()),
+        }
+    }
+
+    /// The global model's accuracy on the held-out test set.
+    pub fn test_accuracy(&self) -> f64 {
+        self.global
+            .accuracy(self.test_set.features(), self.test_set.labels())
+    }
+
+    /// Number of clients in the pool.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+/// Builder for a [`Federation`] (C-BUILDER).
+pub struct FederationBuilder {
+    config: FederationConfig,
+    device_factory: Box<dyn Fn(usize) -> Device>,
+    controller_factory: Box<dyn Fn() -> Box<dyn PaceController>>,
+    task: Option<FlTask>,
+}
+
+impl std::fmt::Debug for FederationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederationBuilder")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl FederationBuilder {
+    /// Sets the per-client device factory (client id → device). Defaults
+    /// to every client on a Jetson AGX.
+    pub fn device_factory(mut self, f: impl Fn(usize) -> Device + 'static) -> Self {
+        self.device_factory = Box::new(f);
+        self
+    }
+
+    /// Sets the pace-controller factory (one controller per client).
+    /// Defaults to the Performant baseline.
+    pub fn controller_factory(
+        mut self,
+        f: impl Fn() -> Box<dyn PaceController> + 'static,
+    ) -> Self {
+        self.controller_factory = Box::new(f);
+        self
+    }
+
+    /// Overrides the FL task (defaults to the CIFAR10-ViT preset scaled
+    /// to the synthetic data).
+    pub fn task(mut self, task: FlTask) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Builds the federation: generates data, partitions it, instantiates
+    /// clients and the global model.
+    pub fn build(self) -> Federation {
+        let cfg = self.config;
+        let task = self
+            .task
+            .unwrap_or_else(|| FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx));
+
+        // Enough data for every client to hold `local_samples`.
+        let per_client = task.local_samples();
+        let total = per_client * cfg.num_clients;
+        let test_size = (total / 5).max(cfg.classes * 10);
+        let all = SyntheticDataset::gaussian_blobs(
+            total + test_size,
+            cfg.feature_dims,
+            cfg.classes,
+            0.5,
+            cfg.seed,
+        );
+        let (train, test_set) = all.train_test_split(test_size as f64 / (total + test_size) as f64);
+        let fed = FederatedData::dirichlet_split(&train, cfg.num_clients, cfg.dirichlet_alpha, cfg.seed ^ 1);
+
+        let model_bytes = task.model().parameter_bytes();
+        let clients = (0..cfg.num_clients)
+            .map(|id| {
+                let client = FlClient::new(
+                    id,
+                    (self.device_factory)(id),
+                    task.clone(),
+                    fed.shard(id).clone(),
+                    Box::new(SoftmaxModel::new(
+                        cfg.feature_dims,
+                        cfg.classes,
+                        cfg.seed ^ 0xC11E,
+                    )),
+                    (self.controller_factory)(),
+                    cfg.learning_rate,
+                    cfg.seed ^ (id as u64).wrapping_mul(0x51_7C_C1),
+                );
+                match cfg.deadline_policy {
+                    DeadlinePolicy::Reporting(network) => client.with_uplink(network),
+                    DeadlinePolicy::Training => client,
+                }
+            })
+            .collect();
+
+        Federation {
+            clients,
+            global: Box::new(SoftmaxModel::new(
+                cfg.feature_dims,
+                cfg.classes,
+                cfg.seed ^ 0x61_0B_A1,
+            )),
+            test_set,
+            config: cfg,
+            model_bytes,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x5E_1EC7),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> FederationConfig {
+        FederationConfig {
+            num_clients: 4,
+            clients_per_round: 2,
+            rounds: 5,
+            classes: 3,
+            feature_dims: 6,
+            seed: 9,
+            ..FederationConfig::default()
+        }
+    }
+
+    #[test]
+    fn fedavg_improves_accuracy() {
+        let mut sim = Federation::builder(quick_config()).build();
+        let initial = sim.test_accuracy();
+        let history = sim.run();
+        assert_eq!(history.rounds.len(), 5);
+        let final_acc = history.final_accuracy();
+        assert!(
+            final_acc > initial + 0.2,
+            "FedAvg should learn: {initial:.2} -> {final_acc:.2}"
+        );
+        assert!(history.total_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn selection_respects_pool_and_count() {
+        let mut sim = Federation::builder(quick_config()).build();
+        let rec = sim.run_round(0);
+        assert_eq!(rec.selected.len(), 2);
+        assert!(rec.selected.iter().all(|&id| id < 4));
+        // All Performant clients meet deadlines; nobody drops.
+        assert_eq!(rec.aggregated, rec.selected);
+        assert!(rec.deadline_s > 0.0);
+    }
+
+    #[test]
+    fn full_dropout_freezes_global_model() {
+        let cfg = FederationConfig {
+            dropout_probability: 1.0,
+            ..quick_config()
+        };
+        let mut sim = Federation::builder(cfg).build();
+        let initial = sim.test_accuracy();
+        let history = sim.run();
+        assert!(history.rounds.iter().all(|r| r.aggregated.is_empty()));
+        assert!((sim.test_accuracy() - initial).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_scales_with_ratio() {
+        let tight = Federation::builder(FederationConfig {
+            deadline_ratio: 1.0,
+            ..quick_config()
+        })
+        .build()
+        .run_first_deadline();
+        let loose = Federation::builder(FederationConfig {
+            deadline_ratio: 4.0,
+            ..quick_config()
+        })
+        .build()
+        .run_first_deadline();
+        assert!(loose >= tight);
+    }
+
+    impl Federation {
+        fn run_first_deadline(&mut self) -> f64 {
+            self.run_round(0).deadline_s
+        }
+    }
+}

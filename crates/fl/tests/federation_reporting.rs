@@ -1,0 +1,76 @@
+//! Federation-level test of the reporting-deadline policy: a whole fleet
+//! operating on reporting deadlines still converges and aggregates
+//! (nearly) every update.
+
+use bofl_fl::prelude::*;
+
+fn base_config() -> FederationConfig {
+    FederationConfig {
+        num_clients: 4,
+        clients_per_round: 2,
+        rounds: 6,
+        deadline_ratio: 2.5,
+        classes: 3,
+        feature_dims: 6,
+        seed: 88,
+        ..FederationConfig::default()
+    }
+}
+
+#[test]
+fn reporting_policy_federation_converges() {
+    let mut sim = Federation::builder(FederationConfig {
+        deadline_policy: DeadlinePolicy::Reporting(NetworkModel::wifi()),
+        ..base_config()
+    })
+    .build();
+    let history = sim.run();
+    assert_eq!(history.rounds.len(), 6);
+    // Over Wi-Fi the upload budget is small; essentially every update
+    // should arrive inside the reporting window.
+    let aggregated: usize = history.rounds.iter().map(|r| r.aggregated.len()).sum();
+    let selected: usize = history.rounds.iter().map(|r| r.selected.len()).sum();
+    assert!(
+        aggregated >= selected - 1,
+        "reporting policy dropped too many updates: {aggregated}/{selected}"
+    );
+    assert!(
+        history.final_accuracy() > 0.5,
+        "federation should learn, accuracy {:.2}",
+        history.final_accuracy()
+    );
+}
+
+#[test]
+fn lte_uplink_still_delivers_most_updates() {
+    let mut sim = Federation::builder(FederationConfig {
+        deadline_policy: DeadlinePolicy::Reporting(NetworkModel::lte()),
+        ..base_config()
+    })
+    .build();
+    let history = sim.run();
+    let aggregated: usize = history.rounds.iter().map(|r| r.aggregated.len()).sum();
+    let selected: usize = history.rounds.iter().map(|r| r.selected.len()).sum();
+    // LTE variance can cost an occasional update, but not the majority.
+    assert!(
+        aggregated as f64 >= selected as f64 * 0.7,
+        "LTE delivered only {aggregated}/{selected}"
+    );
+}
+
+#[test]
+fn training_and_reporting_policies_agree_on_energy_scale() {
+    let training = Federation::builder(base_config()).build().run();
+    let reporting = Federation::builder(FederationConfig {
+        deadline_policy: DeadlinePolicy::Reporting(NetworkModel::wifi()),
+        ..base_config()
+    })
+    .build()
+    .run();
+    // Same devices, same jobs, similar deadlines → energies within 2×.
+    let ratio = reporting.total_energy_j() / training.total_energy_j();
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "energy scales diverged: ratio {ratio:.2}"
+    );
+}

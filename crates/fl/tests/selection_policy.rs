@@ -1,0 +1,92 @@
+//! Tests for the AutoFL-style energy-aware client selection (the
+//! server-side counterpart BoFL composes with, paper §2.1).
+
+use bofl_device::Device;
+use bofl_fl::prelude::*;
+use std::collections::HashMap;
+
+fn mixed_fleet_config(policy: SelectionPolicy) -> FederationConfig {
+    FederationConfig {
+        num_clients: 6,
+        clients_per_round: 2,
+        rounds: 30,
+        deadline_ratio: 2.0,
+        classes: 3,
+        feature_dims: 6,
+        selection_policy: policy,
+        seed: 512,
+        ..FederationConfig::default()
+    }
+}
+
+/// AGX clients (even ids) are far more energy-efficient per round than
+/// TX2 clients (odd ids) for the default CIFAR10-ViT task.
+fn mixed_devices(id: usize) -> Device {
+    if id.is_multiple_of(2) {
+        Device::jetson_agx()
+    } else {
+        Device::jetson_tx2()
+    }
+}
+
+fn selection_counts(policy: SelectionPolicy) -> HashMap<usize, usize> {
+    let mut sim = Federation::builder(mixed_fleet_config(policy))
+        .device_factory(mixed_devices)
+        .build();
+    let history = sim.run();
+    let mut counts = HashMap::new();
+    for r in &history.rounds {
+        for &id in &r.selected {
+            *counts.entry(id).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn energy_aware_selection_prefers_efficient_devices() {
+    let uniform = selection_counts(SelectionPolicy::Uniform);
+    let aware = selection_counts(SelectionPolicy::EnergyAware);
+
+    let agx_share = |counts: &HashMap<usize, usize>| -> f64 {
+        let agx: usize = counts
+            .iter()
+            .filter(|(id, _)| *id % 2 == 0)
+            .map(|(_, c)| c)
+            .sum();
+        let total: usize = counts.values().sum();
+        agx as f64 / total as f64
+    };
+    let u = agx_share(&uniform);
+    let a = agx_share(&aware);
+    assert!(
+        a > u + 0.15,
+        "energy-aware selection should favor AGX clients: uniform {u:.2} vs aware {a:.2}"
+    );
+    // ...but must not starve the inefficient ones entirely (data coverage).
+    let tx2_selected = aware.keys().filter(|id| *id % 2 == 1).count();
+    assert!(
+        tx2_selected >= 1,
+        "at least one TX2 client should still participate"
+    );
+}
+
+#[test]
+fn energy_aware_fleet_spends_less() {
+    let run = |policy| {
+        Federation::builder(mixed_fleet_config(policy))
+            .device_factory(mixed_devices)
+            .build()
+            .run()
+    };
+    let uniform = run(SelectionPolicy::Uniform);
+    let aware = run(SelectionPolicy::EnergyAware);
+    assert!(
+        aware.total_energy_j() < uniform.total_energy_j(),
+        "energy-aware selection should reduce fleet energy: {:.0} vs {:.0}",
+        aware.total_energy_j(),
+        uniform.total_energy_j()
+    );
+    // Learning still happens.
+    assert!(aware.final_accuracy() > 0.5);
+}

@@ -1,0 +1,62 @@
+use bofl_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for Gaussian-process operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// Training inputs were empty.
+    NoData,
+    /// Input dimensions were inconsistent (ragged X, or |X| ≠ |y|, or a
+    /// query point of the wrong dimension).
+    DimensionMismatch {
+        /// Human-readable description of what mismatched.
+        detail: String,
+    },
+    /// Inputs or targets contained NaN or infinite values.
+    NonFinite,
+    /// The underlying linear algebra failed (typically a Gram matrix that
+    /// is not positive definite even with jitter).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::NoData => write!(f, "at least one observation is required"),
+            GpError::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
+            GpError::NonFinite => write!(f, "inputs contain non-finite values"),
+            GpError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for GpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GpError {
+    fn from(e: LinalgError) -> Self {
+        GpError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GpError::Linalg(LinalgError::Empty { what: "xs" });
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(e.source().is_some());
+        assert!(GpError::NoData.source().is_none());
+        assert!(!GpError::NonFinite.to_string().is_empty());
+    }
+}

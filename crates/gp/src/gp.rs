@@ -1,0 +1,545 @@
+use crate::{GpError, Kernel, KernelKind, NelderMead};
+use bofl_linalg::{Cholesky, Matrix, Standardizer};
+
+/// Posterior predictive distribution of the latent function at one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// Posterior mean in original output units.
+    pub mean: f64,
+    /// Posterior variance of the *latent* function (measurement noise not
+    /// included), in original output units squared.
+    pub variance: f64,
+}
+
+impl Posterior {
+    /// Posterior standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// Configuration for fitting a [`GaussianProcess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpConfig {
+    /// Kernel family (the paper uses Matérn-5/2).
+    pub kernel: KernelKind,
+    /// Fixed observation-noise variance in *standardized* units, or `None`
+    /// to fit it by maximum likelihood alongside the other
+    /// hyperparameters.
+    pub noise_variance: Option<f64>,
+    /// Number of Nelder–Mead restarts for the MLE fit (0 disables
+    /// hyperparameter optimization and keeps heuristic defaults).
+    pub restarts: usize,
+    /// Evaluation budget per restart.
+    pub max_evaluations: usize,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            kernel: KernelKind::Matern52,
+            noise_variance: None,
+            restarts: 3,
+            max_evaluations: 400,
+        }
+    }
+}
+
+/// Exact Gaussian-process regression with zero prior mean on standardized
+/// outputs (equivalently, a constant-mean prior at the data mean — the
+/// paper's `m(x) = 0` prior after its own standardization).
+///
+/// Complexity is the textbook `O(n³)` Cholesky; BoFL's observation sets
+/// stay well under a couple hundred points (it explores ~3% of a 2100-point
+/// space), so this is the right tool.
+///
+/// # Examples
+///
+/// ```
+/// use bofl_gp::{GaussianProcess, GpConfig};
+///
+/// # fn main() -> Result<(), bofl_gp::GpError> {
+/// let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+/// let ys = vec![1.0, 0.0, 1.0];
+/// let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default())?;
+/// // The posterior interpolates near the observations…
+/// assert!((gp.predict(&[0.0])?.mean - 1.0).abs() < 0.2);
+/// // …and is more certain at observed points than between them.
+/// assert!(gp.predict(&[0.0])?.variance <= gp.predict(&[0.25])?.variance + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    ys_std: Vec<f64>,
+    y_transform: Standardizer,
+    kernel: Box<dyn Kernel>,
+    noise_variance: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    dim: usize,
+}
+
+impl Clone for GaussianProcess {
+    fn clone(&self) -> Self {
+        GaussianProcess {
+            xs: self.xs.clone(),
+            ys_std: self.ys_std.clone(),
+            y_transform: self.y_transform,
+            kernel: self
+                .kernel
+                .with_hyperparameters(self.kernel.variance(), self.kernel.lengthscales()),
+            noise_variance: self.noise_variance,
+            chol: self.chol.clone(),
+            alpha: self.alpha.clone(),
+            dim: self.dim,
+        }
+    }
+}
+
+impl GaussianProcess {
+    /// Fits a GP to observations `(xs[i], ys[i])`.
+    ///
+    /// Outputs are standardized internally; hyperparameters (kernel
+    /// variance, ARD lengthscales and — unless fixed in the config —
+    /// observation noise) are chosen by multi-start Nelder–Mead on the log
+    /// marginal likelihood.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::NoData`] for empty input,
+    /// [`GpError::DimensionMismatch`] for ragged/mismatched inputs,
+    /// [`GpError::NonFinite`] if any coordinate or target is NaN/infinite,
+    /// and [`GpError::Linalg`] if the final Gram matrix cannot be factored.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: GpConfig) -> Result<Self, GpError> {
+        if xs.is_empty() {
+            return Err(GpError::NoData);
+        }
+        if xs.len() != ys.len() {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("{} inputs but {} targets", xs.len(), ys.len()),
+            });
+        }
+        let dim = xs[0].len();
+        if dim == 0 {
+            return Err(GpError::DimensionMismatch {
+                detail: "points must have at least one dimension".into(),
+            });
+        }
+        if xs.iter().any(|x| x.len() != dim) {
+            return Err(GpError::DimensionMismatch {
+                detail: "ragged input points".into(),
+            });
+        }
+        if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite);
+        }
+
+        let y_transform = Standardizer::fit(ys).map_err(GpError::from)?;
+        let ys_std: Vec<f64> = ys.iter().map(|&y| y_transform.apply(y)).collect();
+
+        // Heuristic initial hyperparameters on standardized data.
+        let init_variance = 1.0;
+        let init_lengthscale = 0.3; // inputs are unit-cube coordinates in BoFL
+        let init_noise = config.noise_variance.unwrap_or(1e-3);
+
+        let (variance, lengthscales, noise) = if config.restarts == 0 || xs.len() < 3 {
+            (
+                init_variance,
+                vec![init_lengthscale; dim],
+                init_noise.max(1e-8),
+            )
+        } else {
+            Self::optimize_hyperparameters(xs, &ys_std, &config, dim, init_noise)
+        };
+
+        let kernel = config.kernel.build(variance, &lengthscales);
+        let (chol, alpha) = Self::build_posterior(xs, &ys_std, kernel.as_ref(), noise)?;
+
+        Ok(GaussianProcess {
+            xs: xs.to_vec(),
+            ys_std,
+            y_transform,
+            kernel,
+            noise_variance: noise,
+            chol,
+            alpha,
+            dim,
+        })
+    }
+
+    /// Builds the Gram Cholesky and the weight vector `α = K⁻¹ y`.
+    fn build_posterior(
+        xs: &[Vec<f64>],
+        ys_std: &[f64],
+        kernel: &dyn Kernel,
+        noise: f64,
+    ) -> Result<(Cholesky, Vec<f64>), GpError> {
+        let n = xs.len();
+        let mut gram = Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+        gram.add_diagonal(noise);
+        let chol = Cholesky::factor(&gram)?;
+        let alpha = chol.solve(ys_std)?;
+        Ok((chol, alpha))
+    }
+
+    fn log_marginal_likelihood_for(
+        xs: &[Vec<f64>],
+        ys_std: &[f64],
+        kernel: &dyn Kernel,
+        noise: f64,
+    ) -> f64 {
+        match Self::build_posterior(xs, ys_std, kernel, noise) {
+            Ok((chol, alpha)) => {
+                let fit: f64 = ys_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+                let n = ys_std.len() as f64;
+                -0.5 * fit
+                    - 0.5 * chol.log_det()
+                    - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+            }
+            Err(_) => f64::NEG_INFINITY,
+        }
+    }
+
+    fn optimize_hyperparameters(
+        xs: &[Vec<f64>],
+        ys_std: &[f64],
+        config: &GpConfig,
+        dim: usize,
+        init_noise: f64,
+    ) -> (f64, Vec<f64>, f64) {
+        let fit_noise = config.noise_variance.is_none();
+        let n_params = 1 + dim + usize::from(fit_noise);
+
+        let objective = |theta: &[f64]| -> f64 {
+            // theta = [log σ², log ℓ₁…ℓ_d, (log σ_n²)]
+            let variance = theta[0].exp();
+            let ls: Vec<f64> = theta[1..=dim].iter().map(|v| v.exp()).collect();
+            let noise = if fit_noise {
+                theta[dim + 1].exp()
+            } else {
+                init_noise
+            };
+            if !(1e-8..=1e4).contains(&variance)
+                || ls.iter().any(|l| !(1e-4..=1e3).contains(l))
+                || !(1e-9..=1.0).contains(&noise)
+            {
+                return f64::INFINITY;
+            }
+            let kernel = config.kernel.build(variance, &ls);
+            -Self::log_marginal_likelihood_for(xs, ys_std, kernel.as_ref(), noise)
+        };
+
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        let starts: Vec<Vec<f64>> = (0..config.restarts)
+            .map(|r| {
+                // Deterministic spread of starting points: vary the
+                // lengthscale scale per restart.
+                let ls0 = 0.1 * 3f64.powi(r as i32); // 0.1, 0.3, 0.9, …
+                let mut s = vec![0.0; n_params];
+                s[0] = 0.0; // log σ² = 0 (standardized outputs)
+                for v in s.iter_mut().take(dim + 1).skip(1) {
+                    *v = ls0.ln();
+                }
+                if fit_noise {
+                    s[dim + 1] = (1e-3f64).ln();
+                }
+                s
+            })
+            .collect();
+
+        let nm = NelderMead::new().with_max_evaluations(config.max_evaluations);
+        for s in starts {
+            let res = nm.minimize(objective, &s);
+            if res.value.is_finite() && best.as_ref().is_none_or(|(v, _)| res.value < *v) {
+                best = Some((res.value, res.x));
+            }
+        }
+
+        match best {
+            Some((_, theta)) => {
+                let variance = theta[0].exp();
+                let ls: Vec<f64> = theta[1..=dim].iter().map(|v| v.exp()).collect();
+                let noise = if fit_noise {
+                    theta[dim + 1].exp()
+                } else {
+                    init_noise
+                };
+                (variance, ls, noise.max(1e-9))
+            }
+            None => (1.0, vec![0.3; dim], init_noise.max(1e-8)),
+        }
+    }
+
+    /// Number of observations the posterior is conditioned on.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` if there are no observations (cannot occur for a fitted GP;
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The fitted kernel.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// The fitted observation-noise variance (standardized units).
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// Log marginal likelihood of the training data under the fitted
+    /// hyperparameters.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        Self::log_marginal_likelihood_for(
+            &self.xs,
+            &self.ys_std,
+            self.kernel.as_ref(),
+            self.noise_variance,
+        )
+    }
+
+    /// Posterior predictive distribution at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::DimensionMismatch`] if `x` has the wrong
+    /// dimension and [`GpError::NonFinite`] if it contains NaN/infinities.
+    pub fn predict(&self, x: &[f64]) -> Result<Posterior, GpError> {
+        if x.len() != self.dim {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("query dim {} vs model dim {}", x.len(), self.dim),
+            });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite);
+        }
+        let k_star: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_std: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = self.chol.solve_half(&k_star)?;
+        let var_std = (self.kernel.variance() - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+        Ok(Posterior {
+            mean: self.y_transform.invert(mean_std),
+            variance: var_std * self.y_transform.scale() * self.y_transform.scale(),
+        })
+    }
+
+    /// Returns a new GP conditioned on one additional *fantasized*
+    /// observation `(x, y)` without re-optimizing hyperparameters — the
+    /// "Kriging believer" step of the paper's sequential-greedy batch
+    /// selection (§4.3 step 2).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GaussianProcess::predict`], plus
+    /// [`GpError::Linalg`] if the extended Gram matrix cannot be factored.
+    pub fn condition_on(&self, x: &[f64], y: f64) -> Result<GaussianProcess, GpError> {
+        if x.len() != self.dim {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("query dim {} vs model dim {}", x.len(), self.dim),
+            });
+        }
+        if x.iter().any(|v| !v.is_finite()) || !y.is_finite() {
+            return Err(GpError::NonFinite);
+        }
+        let mut xs = self.xs.clone();
+        xs.push(x.to_vec());
+        let mut ys_std = self.ys_std.clone();
+        ys_std.push(self.y_transform.apply(y));
+        let (chol, alpha) =
+            Self::build_posterior(&xs, &ys_std, self.kernel.as_ref(), self.noise_variance)?;
+        Ok(GaussianProcess {
+            xs,
+            ys_std,
+            y_transform: self.y_transform,
+            kernel: self
+                .kernel
+                .with_hyperparameters(self.kernel.variance(), self.kernel.lengthscales()),
+            noise_variance: self.noise_variance,
+            chol,
+            alpha,
+            dim: self.dim,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let xs = grid_1d(10);
+        let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).sin() + 2.0).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x).unwrap();
+            assert!((p.mean - y).abs() < 0.05, "at {x:?}: {} vs {}", p.mean, y);
+        }
+        // Interior prediction.
+        let p = gp.predict(&[0.275]).unwrap();
+        assert!((p.mean - ((4.0 * 0.275f64).sin() + 2.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn variance_shrinks_at_observations() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let at_obs = gp.predict(&xs[2]).unwrap().variance;
+        let between = gp.predict(&[0.5 / 5.0 + 1.5 / 5.0]).unwrap().variance;
+        let far = gp.predict(&[3.0]).unwrap().variance;
+        assert!(at_obs <= between + 1e-12);
+        assert!(between < far);
+    }
+
+    #[test]
+    fn reverts_to_prior_far_away() {
+        let xs = grid_1d(5);
+        let ys = vec![10.0, 11.0, 10.5, 10.2, 10.8];
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let p = gp.predict(&[50.0]).unwrap();
+        // Zero-mean prior on standardized outputs → reverts to data mean.
+        let data_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((p.mean - data_mean).abs() < 0.5);
+    }
+
+    #[test]
+    fn condition_on_pins_the_fantasy() {
+        let xs = grid_1d(5);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let before = gp.predict(&[0.55]).unwrap();
+        let gp2 = gp.condition_on(&[0.55], 3.0).unwrap();
+        assert_eq!(gp2.len(), gp.len() + 1);
+        let p = gp2.predict(&[0.55]).unwrap();
+        // The fantasy value (3.0) conflicts with the nearby observation at
+        // x = 0.5 (y = 0.5), so the posterior compromises — but it must
+        // move substantially toward the fantasy and become more certain.
+        assert!(
+            p.mean > before.mean + 0.5,
+            "fantasy should pull the mean up: {} -> {}",
+            before.mean,
+            p.mean
+        );
+        assert!(p.variance < before.variance + 1e-12);
+    }
+
+    #[test]
+    fn clone_preserves_predictions() {
+        let xs = grid_1d(5);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].cos()).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let gp2 = gp.clone();
+        let a = gp.predict(&[0.3]).unwrap();
+        let b = gp2.predict(&[0.3]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(matches!(
+            GaussianProcess::fit(&[], &[], GpConfig::default()).unwrap_err(),
+            GpError::NoData
+        ));
+        let xs = vec![vec![0.0], vec![1.0]];
+        assert!(matches!(
+            GaussianProcess::fit(&xs, &[1.0], GpConfig::default()).unwrap_err(),
+            GpError::DimensionMismatch { .. }
+        ));
+        let ragged = vec![vec![0.0], vec![1.0, 2.0]];
+        assert!(matches!(
+            GaussianProcess::fit(&ragged, &[1.0, 2.0], GpConfig::default()).unwrap_err(),
+            GpError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            GaussianProcess::fit(&xs, &[1.0, f64::NAN], GpConfig::default()).unwrap_err(),
+            GpError::NonFinite
+        ));
+        let gp = GaussianProcess::fit(&xs, &[1.0, 2.0], GpConfig::default()).unwrap();
+        assert!(gp.predict(&[0.0, 1.0]).is_err());
+        assert!(gp.predict(&[f64::INFINITY]).is_err());
+        assert!(gp.condition_on(&[0.5], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn mle_beats_bad_defaults() {
+        // A fast-varying function: MLE should pick a short lengthscale and
+        // yield a higher marginal likelihood than a fixed long one.
+        let xs = grid_1d(15);
+        let ys: Vec<f64> = xs.iter().map(|x| (20.0 * x[0]).sin()).collect();
+        let fitted = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let fixed = GaussianProcess::fit(
+            &xs,
+            &ys,
+            GpConfig {
+                restarts: 0,
+                ..GpConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(fitted.log_marginal_likelihood() >= fixed.log_marginal_likelihood() - 1e-6);
+        assert!(fitted.kernel().lengthscales()[0] < 0.3);
+    }
+
+    #[test]
+    fn multi_dim_inputs() {
+        // f(x) = x₀ + 2 x₁ on the unit square.
+        let mut xs = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                xs.push(vec![i as f64 / 4.0, j as f64 / 4.0]);
+            }
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] + 2.0 * x[1]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let p = gp.predict(&[0.6, 0.4]).unwrap();
+        assert!((p.mean - 1.4).abs() < 0.1, "{}", p.mean);
+        assert_eq!(gp.dim(), 2);
+        assert_eq!(gp.len(), 25);
+        assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn constant_targets_do_not_crash() {
+        let xs = grid_1d(4);
+        let ys = vec![5.0; 4];
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let p = gp.predict(&[0.5]).unwrap();
+        assert!((p.mean - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_observation() {
+        let gp = GaussianProcess::fit(&[vec![0.5]], &[2.0], GpConfig::default()).unwrap();
+        let p = gp.predict(&[0.5]).unwrap();
+        assert!((p.mean - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_noise_is_respected() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let cfg = GpConfig {
+            noise_variance: Some(0.25),
+            restarts: 0,
+            ..GpConfig::default()
+        };
+        let gp = GaussianProcess::fit(&xs, &ys, cfg).unwrap();
+        assert_eq!(gp.noise_variance(), 0.25);
+    }
+}

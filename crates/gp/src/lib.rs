@@ -1,0 +1,45 @@
+//! Gaussian-process regression for the BoFL reproduction.
+//!
+//! The paper's MBO engine (built on the Python library Trieste) models the
+//! two blackbox objectives `T(x)` and `E(x)` as independent Gaussian
+//! processes with zero prior mean and a Matérn-5/2 kernel (§4.3, "MBO prior
+//! function"). This crate implements that surrogate from scratch:
+//!
+//! - [`Kernel`] — covariance functions: [`Matern52`] (the paper's choice),
+//!   [`Matern32`] and [`SquaredExponential`], all with ARD lengthscales;
+//! - [`GaussianProcess`] — exact GP regression with Cholesky solves,
+//!   type-II maximum-likelihood hyperparameters (multi-start Nelder–Mead
+//!   on the log marginal likelihood), and *fantasized conditioning* for
+//!   the sequential-greedy batch strategy of §4.3;
+//! - [`NelderMead`] — the derivative-free optimizer used for the MLE fit.
+//!
+//! # Examples
+//!
+//! Fitting a 1-D GP and checking the posterior interpolates:
+//!
+//! ```
+//! use bofl_gp::{GaussianProcess, GpConfig};
+//!
+//! # fn main() -> Result<(), bofl_gp::GpError> {
+//! let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+//! let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default())?;
+//! let p = gp.predict(&[0.5])?;
+//! assert!((p.mean - (3.0f64).sin()).abs() < 0.2);
+//! assert!(p.variance >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gp;
+mod kernel;
+mod neldermead;
+
+pub use error::GpError;
+pub use gp::{GaussianProcess, GpConfig, Posterior};
+pub use kernel::{Kernel, KernelKind, Matern32, Matern52, SquaredExponential};
+pub use neldermead::{NelderMead, NelderMeadResult};

@@ -1,0 +1,110 @@
+//! Property-based tests for the GP surrogate.
+
+use bofl_gp::{GaussianProcess, GpConfig, Kernel, KernelKind, Matern32, Matern52};
+use bofl_linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Any kernel covariance matrix over distinct points must be positive
+/// semi-definite (we verify PD after a tiny diagonal bump).
+fn assert_kernel_psd(kernel: &dyn Kernel, points: &[Vec<f64>]) {
+    let n = points.len();
+    let mut gram = Matrix::from_fn(n, n, |i, j| kernel.eval(&points[i], &points[j]));
+    gram.add_diagonal(1e-9);
+    assert!(
+        Cholesky::factor(&gram).is_ok(),
+        "kernel gram matrix must be PSD"
+    );
+}
+
+proptest! {
+    #[test]
+    fn matern_kernels_are_psd(
+        raw in proptest::collection::vec(-5.0f64..5.0, 2..24),
+        ls in 0.05f64..3.0,
+        var in 0.1f64..10.0,
+    ) {
+        // Build 2-D points from the raw pool (dedup to avoid exact repeats).
+        let mut pts: Vec<Vec<f64>> = raw.chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| vec![c[0], c[1]])
+            .collect();
+        pts.dedup_by(|a, b| a == b);
+        prop_assume!(pts.len() >= 2);
+        assert_kernel_psd(&Matern52::new(var, &[ls, ls]), &pts);
+        assert_kernel_psd(&Matern32::new(var, &[ls, ls]), &pts);
+    }
+
+    #[test]
+    fn posterior_variance_nonnegative_and_bounded(
+        ys in proptest::collection::vec(-100.0f64..100.0, 3..12),
+        q in 0.0f64..1.0,
+    ) {
+        let n = ys.len();
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig {
+            restarts: 1,
+            max_evaluations: 100,
+            ..GpConfig::default()
+        }).unwrap();
+        let p = gp.predict(&[q]).unwrap();
+        prop_assert!(p.variance >= 0.0);
+        prop_assert!(p.mean.is_finite());
+        // The latent variance never exceeds the prior variance (in
+        // original units) by more than numerical slack.
+        let prior_var = gp.kernel().variance();
+        let y_spread: f64 = {
+            let mean = ys.iter().sum::<f64>() / n as f64;
+            (ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)).max(1.0)
+        };
+        prop_assert!(p.variance <= prior_var * y_spread * 10.0 + 1e-6);
+    }
+
+    #[test]
+    fn conditioning_never_raises_variance(
+        seed_y in -5.0f64..5.0,
+        at in 0.0f64..1.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 / 5.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 - 1.0).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig {
+            restarts: 1,
+            max_evaluations: 100,
+            ..GpConfig::default()
+        }).unwrap();
+        let before = gp.predict(&[at]).unwrap().variance;
+        let gp2 = gp.condition_on(&[at], seed_y).unwrap();
+        let after = gp2.predict(&[at]).unwrap().variance;
+        prop_assert!(after <= before + 1e-9, "variance rose: {before} -> {after}");
+    }
+}
+
+#[test]
+fn independent_objectives_two_gps() {
+    // The paper models T and E with *independent* GPs; verify two GPs on
+    // the same inputs do not interfere (sanity for the MBO engine design).
+    let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+    let t: Vec<f64> = xs.iter().map(|x| 1.0 / (0.2 + x[0])).collect();
+    let e: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x[0] * x[0]).collect();
+    let gp_t = GaussianProcess::fit(&xs, &t, GpConfig::default()).unwrap();
+    let gp_e = GaussianProcess::fit(&xs, &e, GpConfig::default()).unwrap();
+    let pt = gp_t.predict(&[0.5]).unwrap();
+    let pe = gp_e.predict(&[0.5]).unwrap();
+    assert!((pt.mean - 1.0 / 0.7).abs() < 0.15);
+    assert!((pe.mean - 2.75).abs() < 0.15);
+}
+
+#[test]
+fn squared_exponential_also_fits() {
+    let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).cos()).collect();
+    let gp = GaussianProcess::fit(
+        &xs,
+        &ys,
+        GpConfig {
+            kernel: KernelKind::SquaredExponential,
+            ..GpConfig::default()
+        },
+    )
+    .unwrap();
+    assert!((gp.predict(&[0.4]).unwrap().mean - (1.2f64).cos()).abs() < 0.1);
+}

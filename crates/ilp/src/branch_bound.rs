@@ -1,0 +1,371 @@
+//! Best-first branch-and-bound for integer linear programs, using the
+//! two-phase simplex of [`crate::simplex`] for relaxation bounds (the
+//! approach the paper attributes to Gurobi in §5.2 module 4).
+
+use crate::simplex::{solve_lp, Constraint, LpOutcome, LpProblem, Relation};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const INT_TOL: f64 = 1e-6;
+
+/// An optimal integer solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpSolution {
+    /// Optimal integer variable values.
+    pub x: Vec<i64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+/// The outcome of solving an ILP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpOutcome {
+    /// An optimum was found.
+    Optimal(IlpSolution),
+    /// No feasible integer point exists.
+    Infeasible,
+    /// The relaxation (and hence the ILP) is unbounded.
+    Unbounded,
+    /// The node budget was exhausted before proving optimality; the best
+    /// incumbent (if any) is returned.
+    BudgetExhausted(Option<IlpSolution>),
+}
+
+/// A search node: the LP bound plus its extra branching constraints.
+struct Node {
+    bound: f64,
+    extra: Vec<Constraint>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the *lowest* bound first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Solves `min objective · x` s.t. the constraints of `lp`, with all
+/// variables integer and non-negative.
+///
+/// Best-first search on the LP-relaxation bound; branches on the most
+/// fractional variable. `max_nodes` bounds the search (BoFL's exploitation
+/// ILPs have a couple dozen variables and need only a handful of nodes;
+/// 10 000 is a generous default).
+///
+/// # Examples
+///
+/// ```
+/// use bofl_ilp::simplex::{Constraint, LpProblem, Relation};
+/// use bofl_ilp::{solve_ilp, IlpOutcome};
+///
+/// // Knapsack-ish: max 5x + 4y s.t. 6x + 4y ≤ 23, x ≤ 3 ⇒ min −5x −4y.
+/// let lp = LpProblem {
+///     objective: vec![-5.0, -4.0],
+///     constraints: vec![
+///         Constraint { coeffs: vec![6.0, 4.0], rel: Relation::Le, rhs: 23.0 },
+///         Constraint { coeffs: vec![1.0, 0.0], rel: Relation::Le, rhs: 3.0 },
+///     ],
+/// };
+/// match solve_ilp(&lp, 1000) {
+///     // x = 1, y = 4 uses weight 22 and yields value 21.
+///     IlpOutcome::Optimal(s) => {
+///         assert_eq!(s.x, vec![1, 4]);
+///         assert_eq!(s.objective, -21.0);
+///     }
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub fn solve_ilp(lp: &LpProblem, max_nodes: usize) -> IlpOutcome {
+    let n = lp.objective.len();
+
+    let root = match solve_lp(lp) {
+        LpOutcome::Optimal(s) => s,
+        LpOutcome::Infeasible => return IlpOutcome::Infeasible,
+        LpOutcome::Unbounded => return IlpOutcome::Unbounded,
+    };
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bound: root.objective,
+        extra: Vec::new(),
+    });
+
+    let mut incumbent: Option<IlpSolution> = None;
+    let mut nodes = 0usize;
+
+    while let Some(node) = heap.pop() {
+        if nodes >= max_nodes {
+            return IlpOutcome::BudgetExhausted(incumbent);
+        }
+        nodes += 1;
+
+        // Bound pruning.
+        if let Some(ref inc) = incumbent {
+            if node.bound >= inc.objective - 1e-9 {
+                continue;
+            }
+        }
+
+        let mut sub = lp.clone();
+        sub.constraints.extend(node.extra.iter().cloned());
+        let sol = match solve_lp(&sub) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => return IlpOutcome::Unbounded,
+        };
+        if let Some(ref inc) = incumbent {
+            if sol.objective >= inc.objective - 1e-9 {
+                continue;
+            }
+        }
+
+        // Most fractional variable.
+        let frac = |v: f64| (v - v.round()).abs();
+        let branch_var = (0..n)
+            .filter(|&i| frac(sol.x[i]) > INT_TOL)
+            .max_by(|&a, &b| {
+                frac(sol.x[a])
+                    .partial_cmp(&frac(sol.x[b]))
+                    .unwrap_or(Ordering::Equal)
+            });
+
+        match branch_var {
+            None => {
+                // Integral: new incumbent.
+                let x: Vec<i64> = sol.x.iter().map(|v| v.round() as i64).collect();
+                let objective: f64 = lp
+                    .objective
+                    .iter()
+                    .zip(&x)
+                    .map(|(c, &v)| c * v as f64)
+                    .sum();
+                if incumbent
+                    .as_ref()
+                    .is_none_or(|inc| objective < inc.objective - 1e-12)
+                {
+                    incumbent = Some(IlpSolution { x, objective });
+                }
+            }
+            Some(i) => {
+                let v = sol.x[i];
+                let mut unit = vec![0.0; n];
+                unit[i] = 1.0;
+                // x_i ≤ ⌊v⌋
+                let mut left = node.extra.clone();
+                left.push(Constraint {
+                    coeffs: unit.clone(),
+                    rel: Relation::Le,
+                    rhs: v.floor(),
+                });
+                heap.push(Node {
+                    bound: sol.objective,
+                    extra: left,
+                });
+                // x_i ≥ ⌈v⌉
+                let mut right = node.extra;
+                right.push(Constraint {
+                    coeffs: unit,
+                    rel: Relation::Ge,
+                    rhs: v.ceil(),
+                });
+                heap.push(Node {
+                    bound: sol.objective,
+                    extra: right,
+                });
+            }
+        }
+    }
+
+    match incumbent {
+        Some(s) => IlpOutcome::Optimal(s),
+        None => IlpOutcome::Infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(lp: &LpProblem) -> IlpSolution {
+        match solve_ilp(lp, 100_000) {
+            IlpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relaxation_already_integral() {
+        let lp = LpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![1.0, 1.0],
+                rel: Relation::Ge,
+                rhs: 4.0,
+            }],
+        };
+        let s = optimal(&lp);
+        assert_eq!(s.x.iter().sum::<i64>(), 4);
+        assert!((s.objective - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 8a + 11b + 6c + 4d, 5a + 7b + 4c + 3d ≤ 14, vars ≤ 1 (0/1).
+        // Optimum: b + c + d = 21 weight 14.
+        let ub = |i: usize| {
+            let mut c = vec![0.0; 4];
+            c[i] = 1.0;
+            Constraint {
+                coeffs: c,
+                rel: Relation::Le,
+                rhs: 1.0,
+            }
+        };
+        let lp = LpProblem {
+            objective: vec![-8.0, -11.0, -6.0, -4.0],
+            constraints: vec![
+                Constraint {
+                    coeffs: vec![5.0, 7.0, 4.0, 3.0],
+                    rel: Relation::Le,
+                    rhs: 14.0,
+                },
+                ub(0),
+                ub(1),
+                ub(2),
+                ub(3),
+            ],
+        };
+        let s = optimal(&lp);
+        assert_eq!(s.x, vec![0, 1, 1, 1]);
+        assert!((s.objective + 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branching_needed() {
+        // max x + y s.t. 2x + 2y ≤ 5 → LP gives 2.5, ILP gives 2.
+        let lp = LpProblem {
+            objective: vec![-1.0, -1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![2.0, 2.0],
+                rel: Relation::Le,
+                rhs: 5.0,
+            }],
+        };
+        let s = optimal(&lp);
+        assert!((s.objective + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_integrality_gap() {
+        // 2x = 3 has a fractional LP solution but no integer one.
+        let lp = LpProblem {
+            objective: vec![1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![2.0],
+                rel: Relation::Eq,
+                rhs: 3.0,
+            }],
+        };
+        assert_eq!(solve_ilp(&lp, 1000), IlpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LpProblem {
+            objective: vec![-1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![1.0],
+                rel: Relation::Ge,
+                rhs: 0.0,
+            }],
+        };
+        assert_eq!(solve_ilp(&lp, 1000), IlpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incumbent() {
+        // A problem requiring several nodes, given a budget of 1.
+        let lp = LpProblem {
+            objective: vec![-1.0, -1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![2.0, 2.0],
+                rel: Relation::Le,
+                rhs: 5.0,
+            }],
+        };
+        match solve_ilp(&lp, 1) {
+            IlpOutcome::BudgetExhausted(_) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        // Deterministic pseudo-random small ILPs cross-checked by
+        // exhaustive enumeration.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 11) as f64
+        };
+        for _ in 0..25 {
+            let c = vec![next() - 5.0, next() - 5.0];
+            let a = vec![next() + 1.0, next() + 1.0];
+            let b = next() + 5.0;
+            let cap = 6i64;
+            let lp = LpProblem {
+                objective: c.clone(),
+                constraints: vec![
+                    Constraint {
+                        coeffs: a.clone(),
+                        rel: Relation::Le,
+                        rhs: b,
+                    },
+                    Constraint {
+                        coeffs: vec![1.0, 0.0],
+                        rel: Relation::Le,
+                        rhs: cap as f64,
+                    },
+                    Constraint {
+                        coeffs: vec![0.0, 1.0],
+                        rel: Relation::Le,
+                        rhs: cap as f64,
+                    },
+                ],
+            };
+            // Brute force over the bounded box.
+            let mut best: Option<f64> = None;
+            for x in 0..=cap {
+                for y in 0..=cap {
+                    if a[0] * x as f64 + a[1] * y as f64 <= b + 1e-9 {
+                        let obj = c[0] * x as f64 + c[1] * y as f64;
+                        if best.is_none_or(|bv| obj < bv) {
+                            best = Some(obj);
+                        }
+                    }
+                }
+            }
+            let s = optimal(&lp);
+            assert!(
+                (s.objective - best.unwrap()).abs() < 1e-6,
+                "ilp {} vs brute {}",
+                s.objective,
+                best.unwrap()
+            );
+        }
+    }
+}

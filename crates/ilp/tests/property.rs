@@ -1,0 +1,120 @@
+//! Property-based tests: LP/ILP solver invariants on random instances.
+
+use bofl_ilp::simplex::{solve_lp, Constraint, LpOutcome, LpProblem, Relation};
+use bofl_ilp::{solve_ilp, solve_profile, solve_profile_pairs, ConfigCost, IlpOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any optimal LP solution must satisfy every constraint and have a
+    /// consistent objective value.
+    #[test]
+    fn lp_solutions_are_feasible(
+        c in proptest::collection::vec(-5.0f64..5.0, 2..4),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.1f64..5.0, 2..4), 1.0f64..20.0),
+            1..4,
+        ),
+    ) {
+        let n = c.len();
+        let constraints: Vec<Constraint> = rows
+            .iter()
+            .map(|(coeffs, rhs)| Constraint {
+                coeffs: coeffs.iter().cycle().take(n).copied().collect(),
+                rel: Relation::Le,
+                rhs: *rhs,
+            })
+            .collect();
+        let lp = LpProblem { objective: c.clone(), constraints: constraints.clone() };
+        match solve_lp(&lp) {
+            LpOutcome::Optimal(s) => {
+                prop_assert_eq!(s.x.len(), n);
+                prop_assert!(s.x.iter().all(|&v| v >= -1e-9));
+                for row in &constraints {
+                    let lhs: f64 = row.coeffs.iter().zip(&s.x).map(|(a, x)| a * x).sum();
+                    prop_assert!(lhs <= row.rhs + 1e-6, "violated: {lhs} > {}", row.rhs);
+                }
+                let obj: f64 = c.iter().zip(&s.x).map(|(a, x)| a * x).sum();
+                prop_assert!((obj - s.objective).abs() < 1e-6);
+            }
+            LpOutcome::Infeasible => {
+                // All-≤ rows with positive rhs admit x = 0: never infeasible.
+                prop_assert!(false, "x = 0 is feasible, solver said infeasible");
+            }
+            LpOutcome::Unbounded => {
+                // Possible when some objective coefficient is negative and
+                // the corresponding column is unconstrained enough — but
+                // every variable appears with positive coefficients in all
+                // rows, so the feasible region is bounded.
+                prop_assert!(false, "bounded problem reported unbounded");
+            }
+        }
+    }
+
+    /// The ILP optimum is never better than the LP relaxation and never
+    /// worse than any specific integer feasible point we can exhibit.
+    #[test]
+    fn ilp_respects_relaxation_bound(
+        c in proptest::collection::vec(-4.0f64..4.0, 2..3),
+        cap in 2i64..8,
+        rhs in 5.0f64..25.0,
+    ) {
+        let n = c.len();
+        let mut constraints = vec![Constraint {
+            coeffs: vec![1.5; n],
+            rel: Relation::Le,
+            rhs,
+        }];
+        for i in 0..n {
+            let mut unit = vec![0.0; n];
+            unit[i] = 1.0;
+            constraints.push(Constraint { coeffs: unit, rel: Relation::Le, rhs: cap as f64 });
+        }
+        let lp = LpProblem { objective: c.clone(), constraints };
+        let relax = match solve_lp(&lp) {
+            LpOutcome::Optimal(s) => s.objective,
+            _ => return Ok(()),
+        };
+        match solve_ilp(&lp, 100_000) {
+            IlpOutcome::Optimal(s) => {
+                prop_assert!(s.objective >= relax - 1e-6, "ILP beat its relaxation");
+                // x = 0 is integer feasible with objective 0.
+                prop_assert!(s.objective <= 1e-9);
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+
+    /// Profile solutions always schedule exactly `jobs` jobs, meet the
+    /// deadline, and the exact ILP is at least as good as the pair
+    /// heuristic.
+    #[test]
+    fn profile_invariants(
+        lat in proptest::collection::vec(0.05f64..0.5, 2..6),
+        slack in 0.0f64..1.0,
+        jobs in 1u64..40,
+    ) {
+        // Construct an energy/latency trade-off: energy falls as latency
+        // rises (Pareto-like candidate set).
+        let candidates: Vec<ConfigCost> = lat
+            .iter()
+            .map(|&t| ConfigCost { latency_s: t, energy_j: 1.0 / t })
+            .collect();
+        let fastest = lat.iter().copied().fold(f64::INFINITY, f64::min);
+        let slowest = lat.iter().copied().fold(0.0, f64::max);
+        let deadline = jobs as f64 * (fastest + slack * (slowest - fastest));
+
+        let exact = solve_profile(&candidates, jobs, deadline);
+        let pairs = solve_profile_pairs(&candidates, jobs, deadline);
+        match (exact, pairs) {
+            (Ok(e), Ok(p)) => {
+                prop_assert_eq!(e.total_jobs(), jobs);
+                prop_assert_eq!(p.total_jobs(), jobs);
+                prop_assert!(e.latency_s <= deadline + 1e-6);
+                prop_assert!(p.latency_s <= deadline + 1e-6);
+                prop_assert!(e.energy_j <= p.energy_j + 1e-6);
+            }
+            (Err(_), Err(_)) => {} // both infeasible is consistent
+            (a, b) => prop_assert!(false, "solvers disagree on feasibility: {a:?} vs {b:?}"),
+        }
+    }
+}

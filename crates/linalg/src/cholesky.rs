@@ -1,0 +1,254 @@
+use crate::{solve_lower, solve_upper, LinalgError, Matrix};
+
+/// Base jitter added to the diagonal when a factorization first fails.
+const BASE_JITTER: f64 = 1e-10;
+/// Number of ×10 jitter escalations attempted before giving up.
+const MAX_JITTER_STEPS: u32 = 8;
+
+/// A Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, with automatic jitter escalation.
+///
+/// Gaussian-process Gram matrices are positive definite in exact arithmetic
+/// but frequently lose that property to rounding when points are close
+/// together (which happens constantly in DVFS grids where neighbouring
+/// frequency steps are a few percent apart). Following standard GP practice,
+/// [`Cholesky::factor`] retries with a growing diagonal jitter
+/// (`1e-10 … 1e-2 × mean diagonal`) before reporting failure; the applied
+/// jitter is recorded in [`Cholesky::jitter`].
+///
+/// # Examples
+///
+/// ```
+/// use bofl_linalg::{Matrix, Cholesky};
+///
+/// # fn main() -> Result<(), bofl_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0],
+///                             &[15.0, 18.0,  0.0],
+///                             &[-5.0,  0.0, 11.0]])?;
+/// let chol = Cholesky::factor(&a)?;
+/// assert!((chol.log_det() - a_log_det()).abs() < 1e-9);
+/// # fn a_log_det() -> f64 { (2025.0f64).ln() } // det(A) = det(L)² = 45²
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the strict upper triangle is
+    /// assumed to mirror it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular input,
+    /// [`LinalgError::NonFinite`] if `a` contains NaN or infinities, and
+    /// [`LinalgError::NotPositiveDefinite`] if factorization fails even at
+    /// the maximum jitter.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                dims: (a.rows(), a.cols()),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { what: "matrix" });
+        }
+        let n = a.rows();
+        let mean_diag = if n == 0 {
+            1.0
+        } else {
+            (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64
+        };
+        let scale = if mean_diag > 0.0 { mean_diag } else { 1.0 };
+
+        let mut jitter = 0.0;
+        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0, jitter };
+        for step in 0..=MAX_JITTER_STEPS {
+            match Self::try_factor(a, jitter) {
+                Ok(l) => return Ok(Cholesky { l, jitter }),
+                Err(e) => last_err = e,
+            }
+            jitter = BASE_JITTER * scale * 10f64.powi(step as i32);
+        }
+        Err(last_err)
+    }
+
+    fn try_factor(a: &Matrix, jitter: f64) -> Result<Matrix, LinalgError> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, jitter });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The diagonal jitter that was added to make the factorization succeed
+    /// (zero when none was needed).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` using the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let y = solve_lower(&self.l, b)?;
+        solve_upper(&self.l.transpose(), &y)
+    }
+
+    /// Solves `L y = b` (half-solve), useful for computing quadratic forms
+    /// `bᵀ A⁻¹ b = ‖y‖²` without the second substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_half(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        solve_lower(&self.l, b)
+    }
+
+    /// `log det A = 2 Σ log L[i,i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Reconstructs `A = L Lᵀ` (for testing and diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l
+            .matmul(&self.l.transpose())
+            .expect("factor dimensions are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        let chol = Cholesky::factor(&spd3()).unwrap();
+        let l = chol.l();
+        assert!((l[(0, 0)] - 5.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 3.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 3.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 1.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+        assert_eq!(chol.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = chol.solve(&b).unwrap();
+        for (xa, xb) in x.iter().zip(&x_true) {
+            assert!((xa - xb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches() {
+        // det(spd3) = det(L)² = (5·3·3)² = 2025
+        let chol = Cholesky::factor(&spd3()).unwrap();
+        assert!((chol.log_det() - 2025f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstruct_roundtrip() {
+        let a = spd3();
+        let r = Cholesky::factor(&a).unwrap().reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((a[(i, j)] - r[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-1 Gram matrix: xxᵀ with x = (1,1); singular but jitter fixes it.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let chol = Cholesky::factor(&a).unwrap();
+        assert!(chol.jitter() > 0.0);
+        assert!(chol.l().is_finite());
+    }
+
+    #[test]
+    fn rejects_negative_definite() {
+        let a = Matrix::from_rows(&[&[-4.0, 0.0], &[0.0, -4.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_nan() {
+        assert!(Cholesky::factor(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn solve_half_quadratic_form() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let y = chol.solve_half(&b).unwrap();
+        let q1: f64 = y.iter().map(|v| v * v).sum();
+        let x = chol.solve(&b).unwrap();
+        let q2: f64 = b.iter().zip(&x).map(|(a, b)| a * b).sum();
+        assert!((q1 - q2).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,47 @@
+//! Small, dependency-free dense linear-algebra kernels for the BoFL
+//! reproduction.
+//!
+//! The Gaussian-process surrogate ([`bofl-gp`]), the EHVI acquisition
+//! ([`bofl-mobo`]) and the simplex/ILP solver ([`bofl-ilp`]) all need a
+//! handful of dense operations on matrices that are tiny by HPC standards
+//! (tens to a few hundreds of rows). This crate provides exactly those
+//! kernels — row-major [`Matrix`], [`Cholesky`] factorization with jitter
+//! escalation, triangular solves, and streaming statistics — with numerics
+//! tuned for that size regime and nothing else.
+//!
+//! # Examples
+//!
+//! Solving a symmetric positive-definite system via Cholesky:
+//!
+//! ```
+//! use bofl_linalg::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), bofl_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+//! let chol = Cholesky::factor(&a)?;
+//! let x = chol.solve(&[2.0, 3.0])?;
+//! assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`bofl-gp`]: https://docs.rs/bofl-gp
+//! [`bofl-mobo`]: https://docs.rs/bofl-mobo
+//! [`bofl-ilp`]: https://docs.rs/bofl-ilp
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod matrix;
+mod stats;
+mod triangular;
+mod vecops;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use stats::{OnlineStats, Standardizer};
+pub use triangular::{solve_lower, solve_upper};
+pub use vecops::{axpy, dot, infinity_norm, norm2, scale};

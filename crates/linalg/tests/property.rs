@@ -1,0 +1,97 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use bofl_linalg::{dot, norm2, solve_lower, Cholesky, Matrix, OnlineStats, Standardizer};
+use proptest::prelude::*;
+
+/// Generates a random SPD matrix as `B Bᵀ + n·I` for a random `B`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |vals| {
+        let b = Matrix::from_vec(n, n, vals).expect("length checked by strategy");
+        let mut a = b
+            .matmul(&b.transpose())
+            .expect("square matrices always multiply");
+        a.add_diagonal(n as f64 * 0.5);
+        a
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs(a in (1usize..8).prop_flat_map(spd_matrix)) {
+        let chol = Cholesky::factor(&a).expect("SPD by construction");
+        let r = chol.reconstruct();
+        let tol = 1e-8 * (1.0 + a.max_abs());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert!((a[(i, j)] - r[(i, j)]).abs() <= tol + chol.jitter() * 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse(
+        a in (2usize..7).prop_flat_map(spd_matrix),
+        seed in 0u64..1000,
+    ) {
+        let n = a.rows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((seed as f64) * 0.37 + i as f64) % 5.0 - 2.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        let resid = a.matvec(&x).unwrap();
+        for (r, bi) in resid.iter().zip(&b) {
+            prop_assert!((r - bi).abs() < 1e-6 * (1.0 + bi.abs()));
+        }
+    }
+
+    #[test]
+    fn triangular_solve_residual(
+        diag in proptest::collection::vec(0.5f64..4.0, 2..6),
+        seed in 0u64..100,
+    ) {
+        let n = diag.len();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l[(i, i)] = diag[i];
+            for j in 0..i {
+                l[(i, j)] = ((seed + (i * 7 + j) as u64) % 5) as f64 - 2.0;
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 1.0).collect();
+        let x = solve_lower(&l, &b).unwrap();
+        let r = l.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(
+        a in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        b_seed in 0u64..50,
+    ) {
+        let b: Vec<f64> = a.iter().enumerate()
+            .map(|(i, _)| ((b_seed + i as u64) % 7) as f64 - 3.0)
+            .collect();
+        let lhs = dot(&a, &b).abs();
+        let rhs = norm2(&a) * norm2(&b);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-12);
+    }
+
+    #[test]
+    fn welford_mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.sample_variance() >= 0.0);
+    }
+
+    #[test]
+    fn standardizer_roundtrips(xs in proptest::collection::vec(-1e3f64..1e3, 2..50), probe in -1e3f64..1e3) {
+        let s = Standardizer::fit(&xs).unwrap();
+        prop_assert!((s.invert(s.apply(probe)) - probe).abs() < 1e-6);
+        prop_assert!(s.scale() > 0.0);
+    }
+}

@@ -1,0 +1,580 @@
+use crate::ehvi::{expected_hypervolume_improvement, BiGaussian};
+use crate::hypervolume::hypervolume;
+use crate::{MoboError, ParetoFront};
+use bofl_gp::{GaussianProcess, GpConfig};
+use std::time::{Duration, Instant};
+
+/// One evaluated point: input coordinates (unit-cube scaled) and the two
+/// measured objective values `(objective 0, objective 1)` — in BoFL,
+/// `(energy per minibatch, latency per minibatch)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Input coordinates.
+    pub point: Vec<f64>,
+    /// Measured objective values, both minimized.
+    pub objectives: [f64; 2],
+}
+
+impl Observation {
+    /// Creates an observation.
+    pub fn new(point: Vec<f64>, objectives: [f64; 2]) -> Self {
+        Observation { point, objectives }
+    }
+
+    /// `true` iff all coordinates and objectives are finite.
+    pub fn is_finite(&self) -> bool {
+        self.point.iter().all(|v| v.is_finite())
+            && self.objectives.iter().all(|v| v.is_finite())
+    }
+}
+
+/// The paper's MBO stopping condition (§4.3): stop once at least
+/// `min_evaluations` configurations have been explored *and* the relative
+/// hypervolume increase of the latest round fell below `hvi_threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// Minimum number of explored configurations (the paper uses ≈3% of
+    /// the configuration space).
+    pub min_evaluations: usize,
+    /// Relative hypervolume-increase threshold (the paper uses 1%).
+    pub hvi_threshold: f64,
+}
+
+impl Default for StoppingRule {
+    fn default() -> Self {
+        StoppingRule {
+            min_evaluations: 60,
+            hvi_threshold: 0.01,
+        }
+    }
+}
+
+/// Configuration of the MBO engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoboConfig {
+    /// Surrogate-model configuration (one GP per objective; the paper
+    /// uses independent Matérn-5/2 GPs).
+    pub gp: GpConfig,
+    /// Relative padding added to the worst observed objectives when
+    /// deriving the reference point automatically.
+    pub reference_padding: f64,
+    /// Stopping rule parameters.
+    pub stopping: StoppingRule,
+}
+
+impl Default for MoboConfig {
+    fn default() -> Self {
+        MoboConfig {
+            gp: GpConfig::default(),
+            reference_padding: 0.05,
+            stopping: StoppingRule::default(),
+        }
+    }
+}
+
+/// The multi-objective Bayesian optimization engine (the paper's "MBO
+/// engine", §5.2 module 5).
+///
+/// Lifecycle per Pareto-construction round:
+///
+/// 1. [`MoboEngine::observe`] every `(configuration, T̂, Ê)` measured in
+///    the previous training round;
+/// 2. [`MoboEngine::suggest`] a batch of `K` candidates for the next
+///    round — this fits the two GPs and runs sequential-greedy EHVI with
+///    Kriging-believer fantasies (§4.3 "Batch Selection Strategy");
+/// 3. [`MoboEngine::record_round`] to append the current hypervolume to
+///    the stopping-rule history, and [`MoboEngine::should_stop`] to test
+///    the §4.3 stopping condition.
+#[derive(Debug, Clone)]
+pub struct MoboEngine {
+    config: MoboConfig,
+    observations: Vec<Observation>,
+    dim: Option<usize>,
+    reference: Option<[f64; 2]>,
+    hv_history: Vec<f64>,
+    last_suggest_duration: Option<Duration>,
+}
+
+impl MoboEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: MoboConfig) -> Self {
+        MoboEngine {
+            config,
+            observations: Vec::new(),
+            dim: None,
+            reference: None,
+            hv_history: Vec::new(),
+            last_suggest_duration: None,
+        }
+    }
+
+    /// Records one evaluated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoboError::NonFinite`] for NaN/infinite values and
+    /// [`MoboError::DimensionMismatch`] if the point dimension differs
+    /// from previous observations.
+    pub fn observe(&mut self, obs: Observation) -> Result<(), MoboError> {
+        if !obs.is_finite() {
+            return Err(MoboError::NonFinite);
+        }
+        match self.dim {
+            None => self.dim = Some(obs.point.len()),
+            Some(d) if d != obs.point.len() => {
+                return Err(MoboError::DimensionMismatch {
+                    expected: d,
+                    got: obs.point.len(),
+                })
+            }
+            _ => {}
+        }
+        self.observations.push(obs);
+        Ok(())
+    }
+
+    /// All observations so far.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// `true` if no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Pins the reference point explicitly (the paper derives it from the
+    /// worst phase-1 observations and then keeps it fixed).
+    pub fn set_reference(&mut self, r: [f64; 2]) {
+        self.reference = Some(r);
+    }
+
+    /// The reference point: the pinned one if set, otherwise the worst
+    /// observed value per objective padded by `reference_padding`.
+    ///
+    /// Returns `None` when there are no observations and no pinned point.
+    pub fn reference(&self) -> Option<[f64; 2]> {
+        if let Some(r) = self.reference {
+            return Some(r);
+        }
+        if self.observations.is_empty() {
+            return None;
+        }
+        let pad = 1.0 + self.config.reference_padding;
+        let mut worst = [f64::NEG_INFINITY; 2];
+        for o in &self.observations {
+            worst[0] = worst[0].max(o.objectives[0]);
+            worst[1] = worst[1].max(o.objectives[1]);
+        }
+        Some([worst[0] * pad, worst[1] * pad])
+    }
+
+    /// The Pareto front of all observations (objective space).
+    pub fn pareto_front(&self) -> ParetoFront {
+        self.observations
+            .iter()
+            .map(|o| o.objectives)
+            .collect()
+    }
+
+    /// Indices of the observations that lie on the Pareto front.
+    pub fn pareto_indices(&self) -> Vec<usize> {
+        let objs: Vec<[f64; 2]> = self.observations.iter().map(|o| o.objectives).collect();
+        crate::pareto_front_indices(&objs)
+    }
+
+    /// The dominated hypervolume of the current front under the current
+    /// reference point (zero when unmeasurable).
+    pub fn hypervolume(&self) -> f64 {
+        match self.reference() {
+            Some(r) => hypervolume(&self.pareto_front(), r),
+            None => 0.0,
+        }
+    }
+
+    /// Appends the current hypervolume to the stopping-rule history. Call
+    /// once per Pareto-construction round.
+    pub fn record_round(&mut self) {
+        let hv = self.hypervolume();
+        self.hv_history.push(hv);
+    }
+
+    /// The recorded hypervolume trajectory.
+    pub fn hypervolume_history(&self) -> &[f64] {
+        &self.hv_history
+    }
+
+    /// The paper's stopping condition (§4.3): enough configurations
+    /// explored *and* the last recorded relative hypervolume increase is
+    /// below the threshold.
+    pub fn should_stop(&self) -> bool {
+        if self.observations.len() < self.config.stopping.min_evaluations {
+            return false;
+        }
+        let h = &self.hv_history;
+        if h.len() < 2 {
+            return false;
+        }
+        let prev = h[h.len() - 2];
+        let cur = h[h.len() - 1];
+        if prev <= 0.0 {
+            return false;
+        }
+        (cur - prev) / prev < self.config.stopping.hvi_threshold
+    }
+
+    /// Wall-clock duration of the most recent [`MoboEngine::suggest`]
+    /// call (used by the Fig. 13 overhead experiment).
+    pub fn last_suggest_duration(&self) -> Option<Duration> {
+        self.last_suggest_duration
+    }
+
+    /// Proposes a batch of `k` candidates (as indices into `candidates`)
+    /// by sequential-greedy EHVI with fantasized observations.
+    ///
+    /// Candidates that exactly match an already-observed or
+    /// already-chosen point are skipped. Fewer than `k` indices are
+    /// returned only when the candidate set is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoboError::NotEnoughObservations`] with fewer than 4
+    /// observations, [`MoboError::NoCandidates`] for an empty candidate
+    /// set, [`MoboError::DimensionMismatch`]/[`MoboError::NonFinite`] for
+    /// malformed candidates, and [`MoboError::Gp`] if surrogate fitting
+    /// fails.
+    pub fn suggest(&mut self, k: usize, candidates: &[Vec<f64>]) -> Result<Vec<usize>, MoboError> {
+        let start = Instant::now();
+        if candidates.is_empty() {
+            return Err(MoboError::NoCandidates);
+        }
+        let need = 4;
+        if self.observations.len() < need {
+            return Err(MoboError::NotEnoughObservations {
+                have: self.observations.len(),
+                need,
+            });
+        }
+        let dim = self.dim.expect("observations imply a dimension");
+        for c in candidates {
+            if c.len() != dim {
+                return Err(MoboError::DimensionMismatch {
+                    expected: dim,
+                    got: c.len(),
+                });
+            }
+            if c.iter().any(|v| !v.is_finite()) {
+                return Err(MoboError::NonFinite);
+            }
+        }
+        let r = self.reference().expect("observations imply a reference");
+
+        let xs: Vec<Vec<f64>> = self.observations.iter().map(|o| o.point.clone()).collect();
+        let y0: Vec<f64> = self.observations.iter().map(|o| o.objectives[0]).collect();
+        let y1: Vec<f64> = self.observations.iter().map(|o| o.objectives[1]).collect();
+
+        let mut gp0 = GaussianProcess::fit(&xs, &y0, self.config.gp)?;
+        let mut gp1 = GaussianProcess::fit(&xs, &y1, self.config.gp)?;
+
+        let mut front = self.pareto_front();
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        let observed: std::collections::HashSet<Vec<u64>> = self
+            .observations
+            .iter()
+            .map(|o| hash_point(&o.point))
+            .collect();
+
+        for _ in 0..k {
+            let mut best: Option<(usize, f64, BiGaussian)> = None;
+            for (i, c) in candidates.iter().enumerate() {
+                if chosen.contains(&i) || observed.contains(&hash_point(c)) {
+                    continue;
+                }
+                let p0 = gp0.predict(c)?;
+                let p1 = gp1.predict(c)?;
+                let post = BiGaussian {
+                    mean0: p0.mean,
+                    std0: p0.std(),
+                    mean1: p1.mean,
+                    std1: p1.std(),
+                };
+                let e = expected_hypervolume_improvement(&front, post, r);
+                if best.as_ref().is_none_or(|(_, be, _)| e > *be) {
+                    best = Some((i, e, post));
+                }
+            }
+            let Some((i, _, post)) = best else {
+                break; // candidate set exhausted
+            };
+            chosen.push(i);
+            // Kriging believer: fantasize the posterior mean as the
+            // observation and condition both models on it (§4.3 step 2).
+            gp0 = gp0.condition_on(&candidates[i], post.mean0)?;
+            gp1 = gp1.condition_on(&candidates[i], post.mean1)?;
+            front.insert([post.mean0, post.mean1]);
+        }
+
+        self.last_suggest_duration = Some(start.elapsed());
+        Ok(chosen)
+    }
+
+    /// Ablation variant of [`MoboEngine::suggest`]: scores every candidate
+    /// by single-point EHVI *once* and returns the top `k` — no
+    /// Kriging-believer fantasizing between picks. Cheaper, but the batch
+    /// tends to cluster around one region of the front (the effect the
+    /// paper's sequential-greedy strategy exists to avoid).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MoboEngine::suggest`].
+    pub fn suggest_no_fantasy(
+        &mut self,
+        k: usize,
+        candidates: &[Vec<f64>],
+    ) -> Result<Vec<usize>, MoboError> {
+        let start = Instant::now();
+        if candidates.is_empty() {
+            return Err(MoboError::NoCandidates);
+        }
+        let need = 4;
+        if self.observations.len() < need {
+            return Err(MoboError::NotEnoughObservations {
+                have: self.observations.len(),
+                need,
+            });
+        }
+        let dim = self.dim.expect("observations imply a dimension");
+        for c in candidates {
+            if c.len() != dim {
+                return Err(MoboError::DimensionMismatch {
+                    expected: dim,
+                    got: c.len(),
+                });
+            }
+            if c.iter().any(|v| !v.is_finite()) {
+                return Err(MoboError::NonFinite);
+            }
+        }
+        let r = self.reference().expect("observations imply a reference");
+
+        let xs: Vec<Vec<f64>> = self.observations.iter().map(|o| o.point.clone()).collect();
+        let y0: Vec<f64> = self.observations.iter().map(|o| o.objectives[0]).collect();
+        let y1: Vec<f64> = self.observations.iter().map(|o| o.objectives[1]).collect();
+        let gp0 = GaussianProcess::fit(&xs, &y0, self.config.gp)?;
+        let gp1 = GaussianProcess::fit(&xs, &y1, self.config.gp)?;
+        let front = self.pareto_front();
+        let observed: std::collections::HashSet<Vec<u64>> = self
+            .observations
+            .iter()
+            .map(|o| hash_point(&o.point))
+            .collect();
+
+        let mut scored: Vec<(usize, f64)> = Vec::new();
+        for (i, c) in candidates.iter().enumerate() {
+            if observed.contains(&hash_point(c)) {
+                continue;
+            }
+            let p0 = gp0.predict(c)?;
+            let p1 = gp1.predict(c)?;
+            let post = BiGaussian {
+                mean0: p0.mean,
+                std0: p0.std(),
+                mean1: p1.mean,
+                std1: p1.std(),
+            };
+            scored.push((i, expected_hypervolume_improvement(&front, post, r)));
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("EHVI values are finite"));
+        scored.truncate(k);
+        self.last_suggest_duration = Some(start.elapsed());
+        Ok(scored.into_iter().map(|(i, _)| i).collect())
+    }
+}
+
+/// Bit-exact hash key for a point (used to dedup candidates vs
+/// observations; exact match is the right semantics on a fixed grid).
+fn hash_point(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|v| v.to_bits()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy biobjective problem on [0,1]: f0(x) = x², f1(x) = (1−x)².
+    /// The whole segment is Pareto-optimal; EHVI should prefer unexplored
+    /// gaps over re-sampling near known points.
+    fn toy_observe(engine: &mut MoboEngine, xs: &[f64]) {
+        for &x in xs {
+            engine
+                .observe(Observation::new(
+                    vec![x],
+                    [x * x, (1.0 - x) * (1.0 - x)],
+                ))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn observe_validates() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        assert!(e
+            .observe(Observation::new(vec![f64::NAN], [0.0, 0.0]))
+            .is_err());
+        e.observe(Observation::new(vec![0.5], [1.0, 1.0])).unwrap();
+        let err = e
+            .observe(Observation::new(vec![0.5, 0.5], [1.0, 1.0]))
+            .unwrap_err();
+        assert!(matches!(err, MoboError::DimensionMismatch { .. }));
+        assert_eq!(e.len(), 1);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn reference_is_padded_worst() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        assert_eq!(e.reference(), None);
+        toy_observe(&mut e, &[0.0, 1.0]);
+        let r = e.reference().unwrap();
+        assert!((r[0] - 1.05).abs() < 1e-12);
+        assert!((r[1] - 1.05).abs() < 1e-12);
+        e.set_reference([9.0, 9.0]);
+        assert_eq!(e.reference(), Some([9.0, 9.0]));
+    }
+
+    #[test]
+    fn suggest_requires_observations_and_candidates() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        toy_observe(&mut e, &[0.2]);
+        assert!(matches!(
+            e.suggest(1, &[vec![0.1]]).unwrap_err(),
+            MoboError::NotEnoughObservations { .. }
+        ));
+        toy_observe(&mut e, &[0.4, 0.6, 0.8]);
+        assert!(matches!(
+            e.suggest(1, &[]).unwrap_err(),
+            MoboError::NoCandidates
+        ));
+        assert!(matches!(
+            e.suggest(1, &[vec![0.1, 0.2]]).unwrap_err(),
+            MoboError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn suggest_prefers_gap_over_duplicates() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        // Observe everything except the region around 0.5.
+        toy_observe(&mut e, &[0.0, 0.1, 0.2, 0.8, 0.9, 1.0]);
+        let candidates: Vec<Vec<f64>> =
+            (0..=20).map(|i| vec![i as f64 / 20.0]).collect();
+        let picked = e.suggest(3, &candidates).unwrap();
+        assert_eq!(picked.len(), 3);
+        // At least one pick should land in the unexplored middle.
+        assert!(
+            picked.iter().any(|&i| {
+                let x = candidates[i][0];
+                (0.3..=0.7).contains(&x)
+            }),
+            "picks {picked:?} should probe the gap"
+        );
+        assert!(e.last_suggest_duration().is_some());
+    }
+
+    #[test]
+    fn suggest_never_repeats_observed_points() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        toy_observe(&mut e, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let candidates: Vec<Vec<f64>> = (0..=4).map(|i| vec![i as f64 / 4.0]).collect();
+        // Every candidate is already observed → nothing to suggest.
+        let picked = e.suggest(3, &candidates).unwrap();
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn batch_is_unique() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        toy_observe(&mut e, &[0.0, 0.5, 1.0, 0.3]);
+        let candidates: Vec<Vec<f64>> = (0..=50).map(|i| vec![i as f64 / 50.0]).collect();
+        let picked = e.suggest(5, &candidates).unwrap();
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), picked.len());
+    }
+
+    #[test]
+    fn no_fantasy_batch_is_valid_but_clusters() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        toy_observe(&mut e, &[0.0, 0.2, 0.8, 1.0]);
+        let candidates: Vec<Vec<f64>> = (0..=40).map(|i| vec![i as f64 / 40.0]).collect();
+        let no_fantasy = e.suggest_no_fantasy(4, &candidates).unwrap();
+        assert_eq!(no_fantasy.len(), 4);
+        let mut dedup = no_fantasy.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "picks must be distinct candidates");
+        // The fantasized batch should spread at least as widely as the
+        // non-fantasized one (that is its purpose).
+        let fantasy = e.suggest(4, &candidates).unwrap();
+        let spread = |idx: &[usize]| {
+            let xs: Vec<f64> = idx.iter().map(|&i| candidates[i][0]).collect();
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(spread(&fantasy) + 1e-9 >= spread(&no_fantasy) * 0.5);
+    }
+
+    #[test]
+    fn stopping_rule_progression() {
+        let cfg = MoboConfig {
+            stopping: StoppingRule {
+                min_evaluations: 4,
+                hvi_threshold: 0.01,
+            },
+            ..MoboConfig::default()
+        };
+        let mut e = MoboEngine::new(cfg);
+        toy_observe(&mut e, &[0.0, 1.0]);
+        e.set_reference([2.0, 2.0]);
+        e.record_round();
+        assert!(!e.should_stop(), "not enough evaluations yet");
+        // Add points that substantially grow the hypervolume.
+        toy_observe(&mut e, &[0.5]);
+        e.record_round();
+        assert!(!e.should_stop(), "hv still growing");
+        toy_observe(&mut e, &[0.4, 0.6]);
+        e.record_round();
+        // Now add a duplicate-ish point: hv barely changes.
+        toy_observe(&mut e, &[0.4001]);
+        e.record_round();
+        assert!(e.should_stop(), "hv plateaued with enough evaluations");
+    }
+
+    #[test]
+    fn pareto_indices_match_front() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        e.observe(Observation::new(vec![0.1], [1.0, 5.0])).unwrap();
+        e.observe(Observation::new(vec![0.2], [2.0, 2.0])).unwrap();
+        e.observe(Observation::new(vec![0.3], [3.0, 3.0])).unwrap(); // dominated
+        e.observe(Observation::new(vec![0.4], [5.0, 1.0])).unwrap();
+        assert_eq!(e.pareto_indices(), vec![0, 1, 3]);
+        assert_eq!(e.pareto_front().len(), 3);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_points() {
+        let mut e = MoboEngine::new(MoboConfig::default());
+        e.set_reference([10.0, 10.0]);
+        e.observe(Observation::new(vec![0.5], [5.0, 5.0])).unwrap();
+        let h1 = e.hypervolume();
+        e.observe(Observation::new(vec![0.6], [2.0, 2.0])).unwrap();
+        let h2 = e.hypervolume();
+        assert!(h2 > h1);
+    }
+}

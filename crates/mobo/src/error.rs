@@ -1,0 +1,74 @@
+use bofl_gp::GpError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for multi-objective Bayesian optimization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MoboError {
+    /// Not enough observations to fit the surrogate models.
+    NotEnoughObservations {
+        /// Observations currently held.
+        have: usize,
+        /// Observations required.
+        need: usize,
+    },
+    /// An observation or candidate contained NaN/infinite values.
+    NonFinite,
+    /// Points of inconsistent dimensionality were supplied.
+    DimensionMismatch {
+        /// Expected point dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        got: usize,
+    },
+    /// The candidate set was empty.
+    NoCandidates,
+    /// Fitting or predicting with a Gaussian process failed.
+    Gp(GpError),
+}
+
+impl fmt::Display for MoboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoboError::NotEnoughObservations { have, need } => {
+                write!(f, "need at least {need} observations, have {have}")
+            }
+            MoboError::NonFinite => write!(f, "observation contains non-finite values"),
+            MoboError::DimensionMismatch { expected, got } => {
+                write!(f, "point dimension {got} does not match expected {expected}")
+            }
+            MoboError::NoCandidates => write!(f, "candidate set must not be empty"),
+            MoboError::Gp(e) => write!(f, "surrogate model failure: {e}"),
+        }
+    }
+}
+
+impl Error for MoboError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MoboError::Gp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpError> for MoboError {
+    fn from(e: GpError) -> Self {
+        MoboError::Gp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(MoboError::NoCandidates.to_string().contains("candidate"));
+        assert!(MoboError::Gp(GpError::NoData).source().is_some());
+        assert!(MoboError::NonFinite.source().is_none());
+        let e = MoboError::NotEnoughObservations { have: 1, need: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+}

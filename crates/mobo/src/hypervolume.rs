@@ -1,0 +1,185 @@
+//! Exact 2-D hypervolume indicator and hypervolume improvement
+//! (Eqns. 4–5 of the paper).
+//!
+//! Conventions: both objectives are minimized; the reference point `r`
+//! bounds the dominated region from *above* (worse in both objectives).
+//! Points at or beyond the reference contribute nothing.
+
+use crate::ParetoFront;
+
+/// The hypervolume dominated by `front` and bounded by the reference
+/// point `r` (paper Eqn. 4, with both objectives minimized).
+///
+/// Computed exactly in `O(n)` thanks to the front's sorted invariant.
+///
+/// # Examples
+///
+/// ```
+/// use bofl_mobo::ParetoFront;
+/// use bofl_mobo::hypervolume::hypervolume;
+///
+/// let front: ParetoFront = [[1.0, 3.0], [2.0, 2.0]].into_iter().collect();
+/// // Region dominated by (1,3): 3×1; by (2,2): 2×2; overlap 2×1 → 5.
+/// assert_eq!(hypervolume(&front, [4.0, 4.0]), 5.0);
+/// ```
+pub fn hypervolume(front: &ParetoFront, r: [f64; 2]) -> f64 {
+    let pts = front.points();
+    let mut hv = 0.0;
+    // Points are ascending in objective 0, descending in objective 1.
+    // Each point owns the strip [y0_i, y0_{i+1}) × [y1_i, r1].
+    let inside: Vec<[f64; 2]> = pts
+        .iter()
+        .copied()
+        .filter(|p| p[0] < r[0] && p[1] < r[1])
+        .collect();
+    for (i, p) in inside.iter().enumerate() {
+        let right = if i + 1 < inside.len() {
+            inside[i + 1][0]
+        } else {
+            r[0]
+        };
+        hv += (right - p[0]) * (r[1] - p[1]);
+    }
+    hv
+}
+
+/// The exclusive hypervolume contribution of each front point: how much
+/// the hypervolume would *shrink* if that point were removed (zero for
+/// points outside the reference box).
+///
+/// Contributions identify the "load-bearing" trade-offs of a front —
+/// useful for pruning a large approximated Pareto set down to its most
+/// valuable members before exploitation.
+///
+/// # Examples
+///
+/// ```
+/// use bofl_mobo::ParetoFront;
+/// use bofl_mobo::hypervolume::{hypervolume, hypervolume_contributions};
+///
+/// let front: ParetoFront = [[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]].into_iter().collect();
+/// let contrib = hypervolume_contributions(&front, [4.0, 4.0]);
+/// assert_eq!(contrib.len(), 3);
+/// assert!(contrib.iter().all(|&c| c > 0.0)); // every member matters
+/// ```
+pub fn hypervolume_contributions(front: &ParetoFront, r: [f64; 2]) -> Vec<f64> {
+    let total = hypervolume(front, r);
+    front
+        .points()
+        .iter()
+        .map(|&p| {
+            let without: ParetoFront = front.iter().filter(|&q| q != p).collect();
+            total - hypervolume(&without, r)
+        })
+        .collect()
+}
+
+/// The hypervolume improvement of adding the points `q` to `front`
+/// (paper Eqn. 5): `HV(front ∪ q, r) − HV(front, r)`.
+///
+/// # Examples
+///
+/// ```
+/// use bofl_mobo::ParetoFront;
+/// use bofl_mobo::hypervolume::{hypervolume, hypervolume_improvement};
+///
+/// let front: ParetoFront = [[2.0, 2.0]].into_iter().collect();
+/// let hvi = hypervolume_improvement(&front, &[[1.0, 3.0]], [4.0, 4.0]);
+/// assert_eq!(hvi, 1.0); // the new strip [1,2)×[3,4]
+/// ```
+pub fn hypervolume_improvement(front: &ParetoFront, q: &[[f64; 2]], r: [f64; 2]) -> f64 {
+    let base = hypervolume(front, r);
+    let mut extended = front.clone();
+    for &p in q {
+        extended.insert(p);
+    }
+    hypervolume(&extended, r) - base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_front_has_zero_hv() {
+        assert_eq!(hypervolume(&ParetoFront::new(), [1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn single_point_rectangle() {
+        let front: ParetoFront = [[1.0, 2.0]].into_iter().collect();
+        assert_eq!(hypervolume(&front, [5.0, 4.0]), 4.0 * 2.0);
+    }
+
+    #[test]
+    fn staircase_three_points() {
+        let front: ParetoFront = [[1.0, 4.0], [2.0, 3.0], [3.0, 1.0]].into_iter().collect();
+        let r = [5.0, 5.0];
+        // Strips: [1,2)×[4,5] = 1, [2,3)×[3,5] = 2, [3,5)×[1,5] = 8.
+        assert_eq!(hypervolume(&front, r), 11.0);
+    }
+
+    #[test]
+    fn points_beyond_reference_ignored() {
+        let front: ParetoFront = [[1.0, 6.0], [6.0, 1.0], [2.0, 2.0]].into_iter().collect();
+        let r = [5.0, 5.0];
+        // Only (2,2) is inside the reference box: (5−2)×(5−2) = 9.
+        assert_eq!(hypervolume(&front, r), 9.0);
+    }
+
+    #[test]
+    fn hv_is_monotone_under_insertion() {
+        let r = [10.0, 10.0];
+        let mut front = ParetoFront::new();
+        let mut last = 0.0;
+        for p in [[8.0, 8.0], [5.0, 9.0], [3.0, 6.0], [6.0, 2.0], [1.0, 9.5]] {
+            front.insert(p);
+            let hv = hypervolume(&front, r);
+            assert!(hv >= last - 1e-12, "hv must not decrease");
+            last = hv;
+        }
+    }
+
+    #[test]
+    fn contributions_sum_to_at_most_total() {
+        let front: ParetoFront = [[1.0, 4.0], [2.0, 3.0], [3.0, 1.0]].into_iter().collect();
+        let r = [5.0, 5.0];
+        let contrib = hypervolume_contributions(&front, r);
+        let total = hypervolume(&front, r);
+        // Exclusive contributions never overlap, so their sum is ≤ HV.
+        assert!(contrib.iter().sum::<f64>() <= total + 1e-12);
+        assert!(contrib.iter().all(|&c| c >= 0.0));
+        // Hand check: removing (2,3) loses the strip [2,3)×[3,4] = 1.
+        assert!((contrib[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contribution_outside_reference_is_zero() {
+        let front: ParetoFront = [[1.0, 6.0], [2.0, 2.0]].into_iter().collect();
+        let contrib = hypervolume_contributions(&front, [5.0, 5.0]);
+        assert_eq!(contrib[0], 0.0); // (1,6) is beyond the reference
+        assert!(contrib[1] > 0.0);
+    }
+
+    #[test]
+    fn improvement_of_dominated_point_is_zero() {
+        let front: ParetoFront = [[1.0, 1.0]].into_iter().collect();
+        assert_eq!(
+            hypervolume_improvement(&front, &[[2.0, 2.0]], [5.0, 5.0]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn improvement_additivity_check() {
+        // HVI of a batch equals HV(front ∪ batch) − HV(front).
+        let front: ParetoFront = [[3.0, 3.0]].into_iter().collect();
+        let batch = [[1.0, 4.0], [4.0, 1.0]];
+        let r = [6.0, 6.0];
+        let hvi = hypervolume_improvement(&front, &batch, r);
+        let mut all = front.clone();
+        all.extend(batch);
+        assert!((hvi - (hypervolume(&all, r) - hypervolume(&front, r))).abs() < 1e-12);
+        assert!(hvi > 0.0);
+    }
+}

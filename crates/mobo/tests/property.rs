@@ -1,0 +1,123 @@
+//! Property-based tests for Pareto/hypervolume/EHVI invariants.
+
+use bofl_mobo::ehvi::{expected_hypervolume_improvement, BiGaussian};
+use bofl_mobo::hypervolume::{hypervolume, hypervolume_improvement};
+use bofl_mobo::pareto::dominates;
+use bofl_mobo::{pareto_front_indices, ParetoFront, SobolSequence};
+use proptest::prelude::*;
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<[f64; 2]>> {
+    proptest::collection::vec((0.01f64..10.0, 0.01f64..10.0), n)
+        .prop_map(|v| v.into_iter().map(|(a, b)| [a, b]).collect())
+}
+
+proptest! {
+    /// Dominance is a strict partial order: irreflexive, asymmetric,
+    /// transitive.
+    #[test]
+    fn dominance_is_strict_partial_order(
+        a in (0.0f64..10.0, 0.0f64..10.0),
+        b in (0.0f64..10.0, 0.0f64..10.0),
+        c in (0.0f64..10.0, 0.0f64..10.0),
+    ) {
+        let (a, b, c) = ([a.0, a.1], [b.0, b.1], [c.0, c.1]);
+        prop_assert!(!dominates(a, a));
+        prop_assert!(!(dominates(a, b) && dominates(b, a)));
+        if dominates(a, b) && dominates(b, c) {
+            prop_assert!(dominates(a, c));
+        }
+    }
+
+    /// No member of the extracted front is dominated by any input point.
+    #[test]
+    fn front_members_are_nondominated(pts in points(1..30)) {
+        let front_idx = pareto_front_indices(&pts);
+        prop_assert!(!front_idx.is_empty());
+        for &i in &front_idx {
+            for &p in &pts {
+                prop_assert!(!dominates(p, pts[i]));
+            }
+        }
+        // Every non-front point is dominated by someone.
+        for (i, &p) in pts.iter().enumerate() {
+            if !front_idx.contains(&i) {
+                prop_assert!(pts.iter().any(|&q| dominates(q, p)));
+            }
+        }
+    }
+
+    /// Incremental insertion and batch extraction agree on the value set.
+    #[test]
+    fn incremental_equals_batch(pts in points(1..25)) {
+        let front = ParetoFront::from_points(&pts);
+        let mut batch: Vec<[f64; 2]> = pareto_front_indices(&pts)
+            .into_iter().map(|i| pts[i]).collect();
+        batch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        batch.dedup();
+        let mut inc: Vec<[f64; 2]> = front.iter().collect();
+        inc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(inc, batch);
+    }
+
+    /// Hypervolume is monotone under point insertion and bounded by the
+    /// reference box volume.
+    #[test]
+    fn hypervolume_monotone_and_bounded(pts in points(1..20)) {
+        let r = [11.0, 11.0];
+        let mut front = ParetoFront::new();
+        let mut last = 0.0;
+        for &p in &pts {
+            front.insert(p);
+            let hv = hypervolume(&front, r);
+            prop_assert!(hv + 1e-9 >= last);
+            prop_assert!(hv <= 11.0 * 11.0);
+            last = hv;
+        }
+    }
+
+    /// HVI of a dominated-or-equal point is exactly zero; of a
+    /// non-dominated point inside the box it is strictly positive.
+    #[test]
+    fn hvi_sign_matches_dominance(pts in points(1..15), q in (0.01f64..10.0, 0.01f64..10.0)) {
+        let r = [10.5, 10.5];
+        let front = ParetoFront::from_points(&pts);
+        let q = [q.0, q.1];
+        let hvi = hypervolume_improvement(&front, &[q], r);
+        if front.dominated(q) {
+            prop_assert!(hvi.abs() < 1e-12);
+        } else {
+            prop_assert!(hvi > 0.0, "non-dominated point must improve: {q:?}");
+        }
+    }
+
+    /// EHVI is non-negative and increases when the candidate's means
+    /// improve (both objectives shifted down).
+    #[test]
+    fn ehvi_nonnegative_and_monotone(
+        pts in points(1..10),
+        mean in (1.0f64..9.0, 1.0f64..9.0),
+        stds in (0.05f64..1.0, 0.05f64..1.0),
+        shift in 0.1f64..2.0,
+    ) {
+        let r = [12.0, 12.0];
+        let front = ParetoFront::from_points(&pts);
+        let post = BiGaussian { mean0: mean.0, std0: stds.0, mean1: mean.1, std1: stds.1 };
+        let better = BiGaussian { mean0: mean.0 - shift, mean1: mean.1 - shift, ..post };
+        let e = expected_hypervolume_improvement(&front, post, r);
+        let eb = expected_hypervolume_improvement(&front, better, r);
+        prop_assert!(e >= 0.0);
+        prop_assert!(eb + 1e-12 >= e, "shifting means down must not reduce EHVI ({e} -> {eb})");
+    }
+
+    /// Sobol points remain within the unit cube for any dimension and
+    /// prefix length.
+    #[test]
+    fn sobol_in_unit_cube(dim in 1usize..=8, n in 1usize..200) {
+        let mut s = SobolSequence::new(dim);
+        for _ in 0..n {
+            let p = s.next_point();
+            prop_assert_eq!(p.len(), dim);
+            prop_assert!(p.iter().all(|&v| (0.0..1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Bring your own board and your own network: BoFL only needs the
+//! frequency grids and a latency/power model, so a downstream user can
+//! describe a custom edge device and a custom training workload entirely
+//! through the public API and get energy-optimal pace control for it.
+//!
+//! ```sh
+//! cargo run --release --example custom_device
+//! ```
+
+use bofl::baselines::{OracleController, PerformantController};
+use bofl::metrics::{improvement_vs, regret_vs};
+use bofl::prelude::*;
+use bofl_device::{CpuModel, FreqTable, GpuModel, MemoryModel, RailModel};
+use bofl_workload::{ArchEfficiency, Dataset, GpuArch, ModelClass, NnModel};
+
+fn main() {
+    // A hypothetical "EdgeBox 100": a small quad-core board with a modest
+    // Pascal-class GPU and three memory steps — 8×6×3 = 144 configurations.
+    let device = Device::builder("EdgeBox 100")
+        .cpu_table(FreqTable::linspace_mhz(600, 2200, 8))
+        .gpu_table(FreqTable::linspace_mhz(150, 1050, 6))
+        .mem_table(FreqTable::from_mhz(&[800, 1333, 1866]))
+        .cpu_model(CpuModel {
+            ipc_factor: 0.8,
+            pipeline_cores: 3.0,
+        })
+        .gpu_model(GpuModel {
+            arch: GpuArch::Pascal,
+            peak_flops_per_cycle: 768.0,
+        })
+        .memory_model(MemoryModel {
+            bytes_per_cycle: 24.0,
+        })
+        .fixed_overhead_s(0.025)
+        .cpu_rail(RailModel {
+            coeff: 2.0,
+            v0: 0.55,
+            v1: 0.28,
+            idle_fraction: 0.25,
+        })
+        .gpu_rail(RailModel {
+            coeff: 5.0,
+            v0: 0.55,
+            v1: 0.40,
+            idle_fraction: 0.25,
+        })
+        .mem_rail(RailModel {
+            coeff: 2.2,
+            v0: 0.60,
+            v1: 0.12,
+            idle_fraction: 0.25,
+        })
+        .static_power_w(2.8)
+        .build();
+
+    // A custom MobileNet-style workload trained on a private camera feed.
+    let model = NnModel::new(
+        "MobileNetV2",
+        ModelClass::Cnn,
+        1.7e9, // FLOPs per sample (fwd + bwd)
+        3.1e8, // effective DRAM bytes per sample
+        9.0e6, // host preprocessing cycles per sample
+        6.0e7, // serialized launch cycles per batch (many small convs)
+        1.4e7, // 3.5 M parameters
+        ArchEfficiency {
+            volta: 0.30,
+            pascal: 0.24,
+        },
+    );
+    let dataset = Dataset::new("CameraFeed", 128 * 128 * 3, 6);
+    let task = FlTask::new(model, dataset, 16, 2, 60);
+
+    println!(
+        "{}: {} configurations, task {task}",
+        device.name(),
+        device.config_space().len()
+    );
+    let t_min = device.round_latency_at_max(&task);
+    println!("T_min = {:.1} s per round at x_max\n", t_min);
+
+    // Run BoFL vs the baselines at deadline ratio 3.
+    let rounds = 30;
+    let schedule = DeadlineSchedule::uniform(&device, &task, rounds, 3.0, 9);
+    let runner = ClientRunner::new(device.clone(), task.clone(), 4);
+
+    let mut bofl = BoflController::new(BoflConfig::default());
+    let bofl_run = runner.run(&mut bofl, schedule.deadlines());
+    let perf_run = runner.run(&mut PerformantController::new(), schedule.deadlines());
+    let mut oracle = OracleController::new(device.profile_all(&task));
+    let oracle_run = runner.run(&mut oracle, schedule.deadlines());
+
+    println!(
+        "BoFL       {:>9.0} J  ({}/{} deadlines met)",
+        bofl_run.total_energy_j(),
+        bofl_run.deadlines_met(),
+        rounds
+    );
+    println!(
+        "Performant {:>9.0} J  ({}/{} deadlines met)",
+        perf_run.total_energy_j(),
+        perf_run.deadlines_met(),
+        rounds
+    );
+    println!(
+        "Oracle     {:>9.0} J  ({}/{} deadlines met)",
+        oracle_run.total_energy_j(),
+        oracle_run.deadlines_met(),
+        rounds
+    );
+    println!(
+        "\nimprovement vs Performant: {:.1}%, regret vs Oracle: {:.1}%",
+        improvement_vs(&bofl_run, &perf_run) * 100.0,
+        regret_vs(&bofl_run, &oracle_run) * 100.0
+    );
+    println!(
+        "explored {} of {} configurations ({:.1}%)",
+        bofl.observations().len(),
+        device.config_space().len(),
+        bofl.observations().len() as f64 / device.config_space().len() as f64 * 100.0
+    );
+}

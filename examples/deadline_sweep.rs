@@ -1,0 +1,48 @@
+//! Deadline-sensitivity study through the public API (a miniature of the
+//! paper's Fig. 12): how BoFL's savings and regret change as the server
+//! grants looser deadlines.
+//!
+//! ```sh
+//! cargo run --release --example deadline_sweep
+//! ```
+
+use bofl::baselines::{OracleController, PerformantController};
+use bofl::metrics::{improvement_vs, regret_vs};
+use bofl::prelude::*;
+
+fn main() {
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::ImdbLstm, Testbed::JetsonAgx);
+    let rounds = 40;
+    let runner = ClientRunner::new(device.clone(), task.clone(), 17);
+    let profile = device.profile_all(&task);
+
+    println!("IMDB-LSTM on {}, {} rounds per point\n", device.name(), rounds);
+    println!(
+        "{:>6} {:>16} {:>14} {:>14}",
+        "ratio", "improvement (%)", "regret (%)", "explored"
+    );
+
+    for ratio in [2.0, 2.5, 3.0, 3.5, 4.0] {
+        let schedule = DeadlineSchedule::uniform(&device, &task, rounds, ratio, 33);
+
+        let mut bofl = BoflController::new(BoflConfig::default());
+        let bofl_run = runner.run(&mut bofl, schedule.deadlines());
+        let perf_run = runner.run(&mut PerformantController::new(), schedule.deadlines());
+        let mut oracle = OracleController::new(profile.clone());
+        let oracle_run = runner.run(&mut oracle, schedule.deadlines());
+
+        assert_eq!(bofl_run.deadlines_met(), rounds, "BoFL must never miss");
+
+        println!(
+            "{:>6.1} {:>16.1} {:>14.2} {:>14}",
+            ratio,
+            improvement_vs(&bofl_run, &perf_run) * 100.0,
+            regret_vs(&bofl_run, &oracle_run) * 100.0,
+            bofl.observations().len(),
+        );
+    }
+
+    println!("\nExpected shape (paper Fig. 12): improvement grows with the ratio,");
+    println!("regret shrinks — looser deadlines leave more room to pace down.");
+}

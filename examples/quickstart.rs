@@ -1,0 +1,68 @@
+//! Quickstart: run BoFL against the Performant and Oracle baselines on a
+//! simulated Jetson AGX training the CIFAR10-ViT task.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bofl::baselines::{OracleController, PerformantController};
+use bofl::metrics::{improvement_vs, regret_vs};
+use bofl::prelude::*;
+
+fn main() {
+    // 1. Pick a device and an FL task (Table 1 / Table 2 presets).
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
+    println!("device: {} ({} DVFS configurations)", device.name(), device.config_space().len());
+    println!("task:   {task}");
+    println!("T_min:  {:.1} s per round at x_max\n", device.round_latency_at_max(&task));
+
+    // 2. Sample 40 round deadlines uniformly from [T_min, 2·T_min], as the
+    //    paper's server does at deadline ratio 2.
+    let rounds = 40;
+    let schedule = DeadlineSchedule::uniform(&device, &task, rounds, 2.0, 2022);
+    let runner = ClientRunner::new(device.clone(), task.clone(), 7);
+
+    // 3. Run the three controllers over the *same* deadlines.
+    let mut bofl = BoflController::new(BoflConfig::default());
+    let bofl_run = runner.run(&mut bofl, schedule.deadlines());
+
+    let perf_run = runner.run(&mut PerformantController::new(), schedule.deadlines());
+
+    let mut oracle = OracleController::new(device.profile_all(&task));
+    let oracle_run = runner.run(&mut oracle, schedule.deadlines());
+
+    // 4. Report.
+    println!("{:<12} {:>12} {:>10} {:>10}", "controller", "energy (J)", "deadlines", "explored");
+    for run in [&bofl_run, &perf_run, &oracle_run] {
+        println!(
+            "{:<12} {:>12.0} {:>7}/{:<2} {:>10}",
+            run.controller,
+            run.total_energy_j(),
+            run.deadlines_met(),
+            rounds,
+            run.total_explored(),
+        );
+    }
+    println!(
+        "\nBoFL saves {:.1}% energy vs Performant (paper: 20.3%-25.9% at 100 rounds)",
+        improvement_vs(&bofl_run, &perf_run) * 100.0
+    );
+    println!(
+        "BoFL regret vs Oracle: {:.1}% (paper: 1.2%-3.4% at 100 rounds;\n\
+         this 40-round demo amortizes the exploration phase less — run\n\
+         `reproduce fig9` for the paper-scale numbers)",
+        regret_vs(&bofl_run, &oracle_run) * 100.0
+    );
+
+    // 5. Peek at the Pareto set BoFL discovered.
+    println!("\nBoFL's searched Pareto configurations (T̂, Ê per minibatch):");
+    for agg in bofl.observations().pareto_set() {
+        println!(
+            "  {}  ->  {:.3} s, {:.2} J",
+            agg.config,
+            agg.mean_latency_s(),
+            agg.mean_energy_j()
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration: the full BoFL pipeline from device simulation
+//! through MBO to ILP exploitation, exercised end-to-end via the umbrella
+//! crate.
+
+use bofl_repro::bofl::baselines::{OracleController, PerformantController};
+use bofl_repro::bofl::metrics::{improvement_vs, regret_vs};
+use bofl_repro::bofl::prelude::*;
+use bofl_repro::bofl::Phase;
+use bofl_repro::bofl_workload::{FlTask, TaskKind, Testbed};
+
+/// The headline property on *both* devices: Oracle ≤ BoFL < Performant
+/// with zero deadline misses.
+#[test]
+fn headline_ordering_on_both_testbeds() {
+    for (testbed, seed) in [(Testbed::JetsonAgx, 1u64), (Testbed::JetsonTx2, 2u64)] {
+        let device = match testbed {
+            Testbed::JetsonAgx => Device::jetson_agx(),
+            _ => Device::jetson_tx2(),
+        };
+        let task = FlTask::preset(TaskKind::ImdbLstm, testbed);
+        let rounds = 30;
+        let schedule = DeadlineSchedule::uniform(&device, &task, rounds, 2.5, seed);
+        let runner = ClientRunner::new(device.clone(), task.clone(), seed + 10);
+
+        let mut bofl = BoflController::new(BoflConfig::fast_test());
+        let b = runner.run(&mut bofl, schedule.deadlines());
+        let p = runner.run(&mut PerformantController::new(), schedule.deadlines());
+        let mut oracle = OracleController::new(device.profile_all(&task));
+        let o = runner.run(&mut oracle, schedule.deadlines());
+
+        assert_eq!(b.deadlines_met(), rounds, "{testbed}: BoFL missed deadlines");
+        assert_eq!(o.deadlines_met(), rounds, "{testbed}: Oracle missed deadlines");
+        assert!(
+            improvement_vs(&b, &p) > 0.03,
+            "{testbed}: BoFL should beat Performant, improvement {:.3}",
+            improvement_vs(&b, &p)
+        );
+        assert!(
+            regret_vs(&b, &o) > -0.02,
+            "{testbed}: BoFL cannot beat the Oracle beyond noise"
+        );
+        assert!(
+            o.total_energy_j() <= p.total_energy_j(),
+            "{testbed}: Oracle must not lose to Performant"
+        );
+    }
+}
+
+/// Two identical runs produce identical energy ledgers (the whole stack —
+/// Sobol, GP fit, EHVI, ILP, simulator noise — is deterministic under
+/// fixed seeds).
+#[test]
+fn end_to_end_determinism() {
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
+    let schedule = DeadlineSchedule::uniform(&device, &task, 15, 2.0, 77);
+    let runner = ClientRunner::new(device, task, 99);
+
+    let run = |_: u32| {
+        let mut c = BoflController::new(BoflConfig::fast_test());
+        runner.run(&mut c, schedule.deadlines())
+    };
+    let a = run(0);
+    let b = run(1);
+    assert_eq!(a.total_energy_j(), b.total_energy_j());
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.energy_j, rb.energy_j, "round {}", ra.round);
+        assert_eq!(ra.phase, rb.phase);
+        assert_eq!(ra.explored, rb.explored);
+    }
+}
+
+/// The controller's observations must be faithful: every explored
+/// configuration's measured mean cost is within sensor noise of the
+/// device's ground truth.
+#[test]
+fn observations_track_ground_truth() {
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::ImagenetResnet50, Testbed::JetsonAgx);
+    let schedule = DeadlineSchedule::uniform(&device, &task, 20, 3.0, 5);
+    let runner = ClientRunner::new(device.clone(), task.clone(), 6);
+    let mut ctrl = BoflController::new(BoflConfig::fast_test());
+    let _ = runner.run(&mut ctrl, schedule.deadlines());
+
+    let mut checked = 0;
+    for agg in ctrl.observations().iter() {
+        let truth = device.true_cost(&task, agg.config);
+        let lat_err = (agg.mean_latency_s() - truth.latency_s).abs() / truth.latency_s;
+        let en_err = (agg.mean_energy_j() - truth.energy_j).abs() / truth.energy_j;
+        // Multi-job aggregates: generous 10% bound (jitter σ = 1%,
+        // sensor noise σ = 2% per sample, τ-averaged).
+        assert!(lat_err < 0.10, "{}: latency error {lat_err:.3}", agg.config);
+        assert!(en_err < 0.10, "{}: energy error {en_err:.3}", agg.config);
+        checked += 1;
+    }
+    assert!(checked >= 20, "expected a meaningful observation set");
+}
+
+/// Exploitation must genuinely use the ILP mix: with a mid-range deadline
+/// the per-round job schedule blends more than one configuration.
+#[test]
+fn exploitation_blends_configurations() {
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
+    let t_min = device.round_latency_at_max(&task);
+    // Fixed deadline 1.25 × T_min: strictly between the fastest and the
+    // most energy-efficient schedule, so the optimum is a mix.
+    let deadlines = vec![t_min * 1.25; 25];
+    let runner = ClientRunner::new(device.clone(), task, 3);
+    let mut ctrl = BoflController::new(BoflConfig::fast_test());
+    let run = runner.run(&mut ctrl, &deadlines);
+    assert_eq!(run.deadlines_met(), 25);
+
+    // In the exploitation phase the round duration should push close to
+    // the deadline (pacing down), not sit at T_min like Performant.
+    let exploit_rounds: Vec<_> = run.phase_reports(Phase::Exploitation).collect();
+    assert!(!exploit_rounds.is_empty());
+    let mean_util: f64 = exploit_rounds
+        .iter()
+        .map(|r| r.duration_s / r.deadline_s)
+        .sum::<f64>()
+        / exploit_rounds.len() as f64;
+    assert!(
+        mean_util > 0.9,
+        "exploitation should use the deadline budget, utilization {mean_util:.2}"
+    );
+}
+
+/// `bofl-fl` integration: a federation whose clients run the full BoFL
+/// controller still converges and spends less than a Performant fleet.
+#[test]
+fn federation_with_bofl_clients_learns_and_saves() {
+    use bofl_repro::bofl::BoflConfig;
+    use bofl_repro::bofl_fl::prelude::*;
+
+    let config = FederationConfig {
+        num_clients: 4,
+        clients_per_round: 2,
+        rounds: 8,
+        deadline_ratio: 2.5,
+        seed: 31,
+        ..FederationConfig::default()
+    };
+    let mut bofl_fed = Federation::builder(config)
+        .controller_factory(|| {
+            Box::new(bofl_repro::bofl::BoflController::new(BoflConfig::fast_test()))
+        })
+        .build();
+    let bofl_hist = bofl_fed.run();
+
+    let mut perf_fed = Federation::builder(config).build();
+    let perf_hist = perf_fed.run();
+
+    assert!(
+        bofl_hist.final_accuracy() > 0.6,
+        "BoFL federation should learn, accuracy {:.2}",
+        bofl_hist.final_accuracy()
+    );
+    assert!(
+        bofl_hist.total_energy_j() < perf_hist.total_energy_j(),
+        "BoFL fleet should use less energy: {:.0} vs {:.0}",
+        bofl_hist.total_energy_j(),
+        perf_hist.total_energy_j()
+    );
+    // No client update is ever lost to a missed deadline under BoFL.
+    for r in &bofl_hist.rounds {
+        assert_eq!(r.aggregated.len(), r.selected.len(), "round {}", r.round);
+    }
+}

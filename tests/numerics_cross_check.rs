@@ -1,0 +1,142 @@
+//! Cross-crate numerical cross-checks: the optimization substrates agree
+//! with brute force on problems small enough to enumerate.
+
+use bofl_repro::bofl::exploit::plan_profile;
+use bofl_repro::bofl::ObservationStore;
+use bofl_repro::bofl_device::{Device, DvfsConfig, FreqTable};
+use bofl_repro::bofl_ilp::{solve_profile, ConfigCost};
+use bofl_repro::bofl_mobo::hypervolume::hypervolume;
+use bofl_repro::bofl_mobo::{pareto_front_indices, ParetoFront};
+use bofl_repro::bofl_workload::{FlTask, TaskKind, Testbed};
+
+/// On a tiny custom device, the exploitation plan built from *perfect*
+/// observations must match a brute-force enumeration of all job mixes.
+#[test]
+fn ilp_plan_matches_brute_force_on_tiny_device() {
+    let device = Device::builder("tiny")
+        .cpu_table(FreqTable::from_mhz(&[600, 1500]))
+        .gpu_table(FreqTable::from_mhz(&[300, 900]))
+        .mem_table(FreqTable::from_mhz(&[800]))
+        .build();
+    let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
+    let space = device.config_space().clone();
+
+    // Perfect observations for all 4 configurations.
+    let mut store = ObservationStore::new();
+    let mut costs = Vec::new();
+    for x in space.iter() {
+        let c = device.true_cost(&task, x);
+        store.record(&space, x, c);
+        costs.push((x, c));
+    }
+
+    let jobs: u64 = 6;
+    let t_max = device.true_cost(&task, space.x_max()).latency_s;
+    let deadline = jobs as f64 * t_max * 1.8;
+
+    let plan = plan_profile(&store, jobs, deadline).expect("feasible");
+    let plan_energy: f64 = plan
+        .iter()
+        .map(|(x, n)| device.true_cost(&task, *x).energy_j * *n as f64)
+        .sum();
+
+    // Brute force: enumerate all compositions of 6 jobs over 4 configs.
+    let mut best = f64::INFINITY;
+    let k = costs.len();
+    let mut counts = vec![0u64; k];
+    fn recurse(
+        i: usize,
+        left: u64,
+        counts: &mut Vec<u64>,
+        costs: &[(DvfsConfig, bofl_repro::bofl_device::JobCost)],
+        deadline: f64,
+        best: &mut f64,
+    ) {
+        if i + 1 == counts.len() {
+            counts[i] = left;
+            let lat: f64 = counts
+                .iter()
+                .zip(costs)
+                .map(|(&n, (_, c))| n as f64 * c.latency_s)
+                .sum();
+            if lat <= deadline + 1e-9 {
+                let en: f64 = counts
+                    .iter()
+                    .zip(costs)
+                    .map(|(&n, (_, c))| n as f64 * c.energy_j)
+                    .sum();
+                if en < *best {
+                    *best = en;
+                }
+            }
+            return;
+        }
+        for n in 0..=left {
+            counts[i] = n;
+            recurse(i + 1, left - n, counts, costs, deadline, best);
+        }
+    }
+    recurse(0, jobs, &mut counts, &costs, deadline, &mut best);
+
+    assert!(
+        (plan_energy - best).abs() < 1e-6 * best,
+        "ILP plan {plan_energy} vs brute force {best}"
+    );
+}
+
+/// The true Pareto front of a full device profile dominates every other
+/// configuration, and its hypervolume is the maximum over subsets.
+#[test]
+fn device_pareto_front_is_consistent() {
+    let device = Device::jetson_tx2();
+    let task = FlTask::preset(TaskKind::ImdbLstm, Testbed::JetsonTx2);
+    let profile = device.profile_all(&task);
+    let objectives: Vec<[f64; 2]> = profile
+        .iter()
+        .map(|p| [p.cost.energy_j, p.cost.latency_s])
+        .collect();
+    let front_idx = pareto_front_indices(&objectives);
+    assert!(front_idx.len() >= 5, "front too small: {}", front_idx.len());
+    assert!(front_idx.len() < objectives.len() / 4, "front suspiciously large");
+
+    let reference = [
+        objectives.iter().map(|o| o[0]).fold(0.0, f64::max) * 1.01,
+        objectives.iter().map(|o| o[1]).fold(0.0, f64::max) * 1.01,
+    ];
+    let full: ParetoFront = objectives.iter().copied().collect();
+    let front_only: ParetoFront = front_idx.iter().map(|&i| objectives[i]).collect();
+    // Dominated points contribute nothing to the hypervolume.
+    assert!(
+        (hypervolume(&full, reference) - hypervolume(&front_only, reference)).abs() < 1e-9,
+    );
+
+    // x_max is always on the front: nothing is faster.
+    let x_max_idx = device
+        .config_space()
+        .index_of(device.config_space().x_max())
+        .unwrap()
+        .0;
+    assert!(
+        front_idx.contains(&x_max_idx),
+        "x_max must be Pareto-optimal (fastest point)"
+    );
+}
+
+/// The profile solver and the core planner agree on total energy when
+/// given the same candidates.
+#[test]
+fn core_planner_agrees_with_ilp_crate() {
+    let candidates = [
+        ConfigCost { latency_s: 0.20, energy_j: 4.1 },
+        ConfigCost { latency_s: 0.26, energy_j: 3.5 },
+        ConfigCost { latency_s: 0.34, energy_j: 3.1 },
+    ];
+    let jobs = 50;
+    let deadline = 0.26 * 50.0;
+    let direct = solve_profile(&candidates, jobs, deadline).unwrap();
+    assert_eq!(direct.total_jobs(), jobs);
+    assert!(direct.latency_s <= deadline + 1e-9);
+    // Sanity: the mix must beat both pure extremes that are feasible.
+    let pure_fast = 50.0 * 4.1;
+    assert!(direct.energy_j < pure_fast);
+}
