@@ -83,13 +83,7 @@ fn ehvi_and_hypervolume(c: &mut Criterion) {
         std1: 0.4,
     };
     c.bench_function("mobo/ehvi_single_eval", |b| {
-        b.iter(|| {
-            black_box(expected_hypervolume_improvement(
-                black_box(&front),
-                post,
-                r,
-            ))
-        })
+        b.iter(|| black_box(expected_hypervolume_improvement(black_box(&front), post, r)))
     });
     c.bench_function("mobo/ehvi_2100_candidates", |b| {
         b.iter(|| {

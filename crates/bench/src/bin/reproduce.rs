@@ -4,22 +4,23 @@
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
 //! EXPERIMENT: table1 table2 fig3 fig4 fig5 fig9 fig10 fig11 table3
-//!             fig12 fig13 | all (default)
+//!             fig12 fig13 ablation fleet | all (default)
 //! --quick     reduced scale (20 rounds instead of 100)
 //! --out DIR   write CSVs under DIR (default: results/)
 //! ```
 
 use bofl_bench::experiments::{
-    ablations, fig11_pareto, fig2_spread, fig12_sensitivity, fig13_overhead, fig3_fig4_fig5_motivation as motivation,
-    fig9_fig10_energy, table1_table2_specs as specs, table3_walkthrough, ExperimentScale,
+    ablations, fig11_pareto, fig12_sensitivity, fig13_overhead, fig2_spread,
+    fig3_fig4_fig5_motivation as motivation, fig9_fig10_energy, fleet_scale,
+    table1_table2_specs as specs, table3_walkthrough, ExperimentScale,
 };
 use bofl_bench::Report;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "table3", "fig12",
-    "fig13", "ablation",
+    "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "table3",
+    "fig12", "fig13", "ablation", "fleet",
 ];
 
 fn main() -> ExitCode {
@@ -49,7 +50,10 @@ fn main() -> ExitCode {
             "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
             other if ALL.contains(&other) => wanted.push(other.to_string()),
             other => {
-                eprintln!("unknown experiment '{other}'; valid: {} | all", ALL.join(" "));
+                eprintln!(
+                    "unknown experiment '{other}'; valid: {} | all",
+                    ALL.join(" ")
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -88,6 +92,7 @@ fn main() -> ExitCode {
             "fig12" => emit(fig12_sensitivity::figure(scale)),
             "fig13" => emit(fig13_overhead::figure(scale)),
             "ablation" => emit(ablations::study(scale)),
+            "fleet" => emit(fleet_scale::figure(scale)),
             _ => unreachable!("validated above"),
         }
         eprintln!("[{exp} done in {:.1}s]", started.elapsed().as_secs_f64());

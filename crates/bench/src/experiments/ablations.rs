@@ -63,13 +63,8 @@ pub fn variants() -> Vec<(&'static str, BoflConfig)> {
 pub fn study(scale: ExperimentScale) -> Report {
     let device = device_for(Testbed::JetsonAgx);
     let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
-    let schedule = DeadlineSchedule::uniform(
-        &device,
-        &task,
-        scale.rounds,
-        2.0,
-        scale.deadline_seed,
-    );
+    let schedule =
+        DeadlineSchedule::uniform(&device, &task, scale.rounds, 2.0, scale.deadline_seed);
     let runner = ClientRunner::new(device.clone(), task.clone(), scale.noise_seed);
 
     let perf = runner.run(&mut PerformantController::new(), schedule.deadlines());
@@ -109,7 +104,13 @@ pub fn study(scale: ExperimentScale) -> Report {
     report.note("energy for *missed deadlines* — the one currency BoFL never");
     report.note("spends.");
     report.push_table(t);
-    report.push_table(tau_sweep_table(&runner, &schedule, &perf, &orac, scale.rounds));
+    report.push_table(tau_sweep_table(
+        &runner,
+        &schedule,
+        &perf,
+        &orac,
+        scale.rounds,
+    ));
     report
 }
 

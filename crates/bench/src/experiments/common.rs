@@ -92,13 +92,8 @@ pub fn run_triple(
 ) -> TripleRun {
     let device = device_for(testbed);
     let task = FlTask::preset(kind, testbed);
-    let schedule = DeadlineSchedule::uniform(
-        &device,
-        &task,
-        scale.rounds,
-        ratio,
-        scale.deadline_seed,
-    );
+    let schedule =
+        DeadlineSchedule::uniform(&device, &task, scale.rounds, ratio, scale.deadline_seed);
     let runner = ClientRunner::new(device.clone(), task.clone(), scale.noise_seed);
 
     let mut bofl_ctrl = BoflController::new(BoflConfig::default());

@@ -19,7 +19,14 @@ fn pareto_table(kind: TaskKind, scale: ExperimentScale) -> (Table, f64, f64, usi
             "fig11_{}",
             kind.to_string().to_lowercase().replace('-', "_")
         ),
-        &["role", "latency_s", "energy_j", "cpu_mhz", "gpu_mhz", "mem_mhz"],
+        &[
+            "role",
+            "latency_s",
+            "energy_j",
+            "cpu_mhz",
+            "gpu_mhz",
+            "mem_mhz",
+        ],
     );
 
     // Ground truth: exhaustive profile and its true Pareto front.
@@ -129,8 +136,7 @@ mod tests {
             deadline_seed: 4,
             noise_seed: 6,
         };
-        let (_, hv_frac, explored, bofl_n, true_n) =
-            pareto_table(TaskKind::Cifar10Vit, scale);
+        let (_, hv_frac, explored, bofl_n, true_n) = pareto_table(TaskKind::Cifar10Vit, scale);
         assert!(
             hv_frac > 0.85,
             "BoFL front captures ≥85% of the true hypervolume, got {hv_frac:.3}"

@@ -11,8 +11,7 @@ pub const RATIOS: [f64; 5] = [2.0, 2.5, 3.0, 3.5, 4.0];
 
 /// Runs the Fig. 12 sweep.
 pub fn figure(scale: ExperimentScale) -> Report {
-    let mut report =
-        Report::new("Figure 12: BoFL effectiveness vs deadline length (AGX)");
+    let mut report = Report::new("Figure 12: BoFL effectiveness vs deadline length (AGX)");
     let mut t = Table::new(
         "fig12_sensitivity",
         &[

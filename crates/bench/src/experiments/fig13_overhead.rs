@@ -61,18 +61,14 @@ pub fn figure(scale: ExperimentScale) -> Report {
             .cpu_table()
             .get(space.cpu_table().len() / 2)
             .expect("non-empty table");
-        let mbo_state = bofl_device::DvfsConfig::new(
-            mid_cpu,
-            space.gpu_table().min(),
-            space.mem_table().min(),
-        );
+        let mbo_state =
+            bofl_device::DvfsConfig::new(mid_cpu, space.gpu_table().min(), space.mem_table().min());
         let mbo_power_w = device.power_model().cpu_busy_power(mbo_state);
 
         for kind in TaskKind::all() {
             let triple = run_triple(kind, testbed, 2.0, scale);
             let n = triple.mbo_host_durations.len().max(1);
-            let host_mean: f64 =
-                triple.mbo_host_durations.iter().sum::<f64>() / n as f64;
+            let host_mean: f64 = triple.mbo_host_durations.iter().sum::<f64>() / n as f64;
             let device_mean = host_mean * mbo_slowdown(testbed);
             let device_energy = device_mean * mbo_power_w;
             per_round.push_row(vec![
@@ -127,11 +123,13 @@ mod tests {
             .cpu_table()
             .get(space.cpu_table().len() / 2)
             .expect("non-empty table");
-        let power = device.power_model().cpu_busy_power(bofl_device::DvfsConfig::new(
-            mid_cpu,
-            space.gpu_table().min(),
-            space.mem_table().min(),
-        ));
+        let power = device
+            .power_model()
+            .cpu_busy_power(bofl_device::DvfsConfig::new(
+                mid_cpu,
+                space.gpu_table().min(),
+                space.mem_table().min(),
+            ));
         let mbo_j: f64 = triple
             .mbo_host_durations
             .iter()

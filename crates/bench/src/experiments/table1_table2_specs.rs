@@ -25,9 +25,8 @@ pub fn table1() -> Report {
     for bed in Testbed::all() {
         let d = device_for(bed);
         let s = d.config_space();
-        let range = |t: &bofl_device::FreqTable| {
-            format!("{:.2}-{:.2}", t.min().as_ghz(), t.max().as_ghz())
-        };
+        let range =
+            |t: &bofl_device::FreqTable| format!("{:.2}-{:.2}", t.min().as_ghz(), t.max().as_ghz());
         t.push_row(vec![
             d.name().to_string(),
             range(s.cpu_table()),

@@ -27,9 +27,8 @@ pub fn rows_for(triple: &TripleRun) -> Vec<(usize, &'static str, usize, usize)> 
 
 /// Runs the Table 3 experiment: all three tasks on the AGX at ratio 2.
 pub fn table(scale: ExperimentScale) -> Report {
-    let mut report = Report::new(
-        "Table 3: explorations and searched Pareto points per round (phases 1-2)",
-    );
+    let mut report =
+        Report::new("Table 3: explorations and searched Pareto points per round (phases 1-2)");
     let mut t = Table::new(
         "table3_walkthrough",
         &["task", "round", "phase", "explorations", "pareto_hits"],
@@ -73,11 +72,7 @@ mod tests {
         let rows = rows_for(&triple);
         assert!(!rows.is_empty());
         // Phase 1 explores ≈1% of the AGX space (21 points + x_max).
-        let random_exp: usize = rows
-            .iter()
-            .filter(|r| r.1 == "random")
-            .map(|r| r.2)
-            .sum();
+        let random_exp: usize = rows.iter().filter(|r| r.1 == "random").map(|r| r.2).sum();
         assert!(
             (18..=25).contains(&random_exp),
             "phase-1 explorations {random_exp}"
@@ -89,11 +84,7 @@ mod tests {
         // at a higher hit-rate than random exploration.
         let mbo_exp: usize = rows.iter().filter(|r| r.1 == "mbo").map(|r| r.2).sum();
         let mbo_hits: usize = rows.iter().filter(|r| r.1 == "mbo").map(|r| r.3).sum();
-        let random_hits: usize = rows
-            .iter()
-            .filter(|r| r.1 == "random")
-            .map(|r| r.3)
-            .sum();
+        let random_hits: usize = rows.iter().filter(|r| r.1 == "random").map(|r| r.3).sum();
         let mbo_rate = mbo_hits as f64 / mbo_exp.max(1) as f64;
         let random_rate = random_hits as f64 / random_exp.max(1) as f64;
         assert!(

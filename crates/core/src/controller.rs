@@ -275,8 +275,7 @@ impl BoflController {
         } else {
             self.round_durations.iter().sum::<f64>() / self.round_durations.len() as f64
         };
-        let k = ((t_avg / self.config.tau_s).floor() as usize)
-            .clamp(1, self.config.max_batch);
+        let k = ((t_avg / self.config.tau_s).floor() as usize).clamp(1, self.config.max_batch);
 
         // Candidate pool: every unexplored grid point.
         let observed: HashSet<_> = self.store.indices().iter().copied().collect();
@@ -429,7 +428,12 @@ mod tests {
     use super::*;
     use crate::executor::testing::FakeExecutor;
 
-    fn run_rounds(ctrl: &mut BoflController, n: usize, jobs: usize, deadline: f64) -> Vec<ControllerRoundStats> {
+    fn run_rounds(
+        ctrl: &mut BoflController,
+        n: usize,
+        jobs: usize,
+        deadline: f64,
+    ) -> Vec<ControllerRoundStats> {
         (0..n)
             .map(|i| {
                 let mut exec = FakeExecutor::new();

@@ -68,7 +68,6 @@ pub(crate) mod testing {
                 energy_j: power_w * latency_s,
             }
         }
-
     }
 
     impl JobExecutor for FakeExecutor {

@@ -68,6 +68,18 @@ pub use observation::{AggregatedObservation, ObservationStore};
 pub use runner::{ClientRunner, DeadlineSchedule, RoundReport, RunSummary};
 pub use task::{Phase, RoundSpec};
 
+// Compile-time Send audit: fleet-scale simulation moves clients (and the
+// controllers they own) across worker threads, so every controller and the
+// boxed trait object must remain `Send`. A regression here should fail the
+// build, not surface as a distant trait-bound error in `bofl-fleet`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<controller::BoflController>();
+    assert_send::<baselines::PerformantController>();
+    assert_send::<baselines::OracleController>();
+    assert_send::<Box<dyn task::PaceController>>();
+};
+
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
     pub use crate::baselines::{OracleController, PerformantController};

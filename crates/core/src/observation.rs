@@ -90,7 +90,11 @@ impl ObservationStore {
     }
 
     /// The aggregate for a configuration value, if observed.
-    pub fn get_config(&self, space: &ConfigSpace, config: DvfsConfig) -> Option<&AggregatedObservation> {
+    pub fn get_config(
+        &self,
+        space: &ConfigSpace,
+        config: DvfsConfig,
+    ) -> Option<&AggregatedObservation> {
         space.index_of(config).and_then(|i| self.by_index.get(&i))
     }
 
@@ -120,9 +124,8 @@ impl ObservationStore {
         let all: Vec<&AggregatedObservation> = self.iter().collect();
         all.iter()
             .filter(|a| {
-                !all.iter().any(|b| {
-                    b.config != a.config && b.mean_cost().dominates(&a.mean_cost())
-                })
+                !all.iter()
+                    .any(|b| b.config != a.config && b.mean_cost().dominates(&a.mean_cost()))
             })
             .copied()
             .collect()
@@ -165,8 +168,22 @@ mod tests {
         let sp = space();
         let mut store = ObservationStore::new();
         let x = cfg(100, 300, 500);
-        assert!(store.record(&sp, x, JobCost { latency_s: 0.2, energy_j: 4.0 }));
-        assert!(!store.record(&sp, x, JobCost { latency_s: 0.4, energy_j: 6.0 }));
+        assert!(store.record(
+            &sp,
+            x,
+            JobCost {
+                latency_s: 0.2,
+                energy_j: 4.0
+            }
+        ));
+        assert!(!store.record(
+            &sp,
+            x,
+            JobCost {
+                latency_s: 0.4,
+                energy_j: 6.0
+            }
+        ));
         let agg = store.get_config(&sp, x).unwrap();
         assert_eq!(agg.jobs, 2);
         assert!((agg.mean_latency_s() - 0.3).abs() < 1e-12);
@@ -179,9 +196,30 @@ mod tests {
     fn pareto_set_filters_dominated() {
         let sp = space();
         let mut store = ObservationStore::new();
-        store.record(&sp, cfg(100, 300, 500), JobCost { latency_s: 0.2, energy_j: 5.0 });
-        store.record(&sp, cfg(200, 300, 500), JobCost { latency_s: 0.4, energy_j: 3.0 });
-        store.record(&sp, cfg(100, 400, 500), JobCost { latency_s: 0.5, energy_j: 6.0 }); // dominated
+        store.record(
+            &sp,
+            cfg(100, 300, 500),
+            JobCost {
+                latency_s: 0.2,
+                energy_j: 5.0,
+            },
+        );
+        store.record(
+            &sp,
+            cfg(200, 300, 500),
+            JobCost {
+                latency_s: 0.4,
+                energy_j: 3.0,
+            },
+        );
+        store.record(
+            &sp,
+            cfg(100, 400, 500),
+            JobCost {
+                latency_s: 0.5,
+                energy_j: 6.0,
+            },
+        ); // dominated
         let pareto = store.pareto_set();
         assert_eq!(pareto.len(), 2);
         assert!(pareto.iter().all(|a| a.mean_latency_s() < 0.45));
@@ -192,8 +230,22 @@ mod tests {
         let sp = space();
         let mut store = ObservationStore::new();
         assert_eq!(store.worst_objectives(), None);
-        store.record(&sp, cfg(100, 300, 500), JobCost { latency_s: 0.2, energy_j: 5.0 });
-        store.record(&sp, cfg(200, 400, 600), JobCost { latency_s: 0.7, energy_j: 3.0 });
+        store.record(
+            &sp,
+            cfg(100, 300, 500),
+            JobCost {
+                latency_s: 0.2,
+                energy_j: 5.0,
+            },
+        );
+        store.record(
+            &sp,
+            cfg(200, 400, 600),
+            JobCost {
+                latency_s: 0.7,
+                energy_j: 3.0,
+            },
+        );
         assert_eq!(store.worst_objectives(), Some([5.0, 0.7]));
     }
 
@@ -203,9 +255,30 @@ mod tests {
         let mut store = ObservationStore::new();
         let a = cfg(200, 400, 600);
         let b = cfg(100, 300, 500);
-        store.record(&sp, a, JobCost { latency_s: 0.1, energy_j: 1.0 });
-        store.record(&sp, b, JobCost { latency_s: 0.2, energy_j: 2.0 });
-        store.record(&sp, a, JobCost { latency_s: 0.1, energy_j: 1.0 });
+        store.record(
+            &sp,
+            a,
+            JobCost {
+                latency_s: 0.1,
+                energy_j: 1.0,
+            },
+        );
+        store.record(
+            &sp,
+            b,
+            JobCost {
+                latency_s: 0.2,
+                energy_j: 2.0,
+            },
+        );
+        store.record(
+            &sp,
+            a,
+            JobCost {
+                latency_s: 0.1,
+                energy_j: 1.0,
+            },
+        );
         let order: Vec<DvfsConfig> = store.iter().map(|o| o.config).collect();
         assert_eq!(order, vec![a, b]);
         assert_eq!(store.indices().len(), 2);
@@ -216,6 +289,13 @@ mod tests {
     fn rejects_off_grid() {
         let sp = space();
         let mut store = ObservationStore::new();
-        store.record(&sp, cfg(150, 300, 500), JobCost { latency_s: 0.1, energy_j: 1.0 });
+        store.record(
+            &sp,
+            cfg(150, 300, 500),
+            JobCost {
+                latency_s: 0.1,
+                energy_j: 1.0,
+            },
+        );
     }
 }

@@ -5,7 +5,10 @@
 
 use crate::task::{ControllerRoundStats, PaceController, Phase};
 use crate::{JobExecutor, RoundSpec};
-use bofl_device::{ConfigIndex, ConfigSpace, Device, DvfsActuator, DvfsConfig, JobCost, SimulatedActuator, VirtualClock};
+use bofl_device::{
+    ConfigIndex, ConfigSpace, Device, DvfsActuator, DvfsConfig, JobCost, SimulatedActuator,
+    VirtualClock,
+};
 use bofl_workload::FlTask;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,9 +139,7 @@ impl RunSummary {
 
     /// Reports belonging to a given phase.
     pub fn phase_reports(&self, phase: Phase) -> impl Iterator<Item = &RoundReport> + '_ {
-        self.reports
-            .iter()
-            .filter(move |r| r.phase == Some(phase))
+        self.reports.iter().filter(move |r| r.phase == Some(phase))
     }
 }
 
@@ -298,7 +299,10 @@ mod tests {
             assert!(d <= 2.0 * t_min);
         }
         let f = DeadlineSchedule::fixed(&device, &task, 3, 3.0);
-        assert!(f.deadlines().iter().all(|&d| (d - 3.0 * t_min).abs() < 1e-9));
+        assert!(f
+            .deadlines()
+            .iter()
+            .all(|&d| (d - 3.0 * t_min).abs() < 1e-9));
     }
 
     #[test]
@@ -322,7 +326,10 @@ mod tests {
         assert_eq!(summary.controller, "Performant");
         assert!(summary.total_energy_j() > 0.0);
         // Every round ran W jobs.
-        assert!(summary.reports.iter().all(|r| r.jobs == runner.task().jobs_per_round()));
+        assert!(summary
+            .reports
+            .iter()
+            .all(|r| r.jobs == runner.task().jobs_per_round()));
     }
 
     #[test]

@@ -77,7 +77,13 @@ pub struct ControllerRoundStats {
 ///
 /// The controller must run **exactly** `spec.jobs` jobs through the
 /// executor before returning.
-pub trait PaceController {
+///
+/// `Send` is a supertrait so that a client owning a boxed controller can
+/// migrate across worker threads — the contract the `bofl-fleet` parallel
+/// round engine relies on. Controllers hold only owned state (observation
+/// stores, GP surrogates, Sobol streams), so this costs implementors
+/// nothing.
+pub trait PaceController: Send {
     /// Controller name for reports (e.g. `"BoFL"`).
     fn name(&self) -> &str;
 

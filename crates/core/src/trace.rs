@@ -168,7 +168,9 @@ mod tests {
             vec![0, 1, 2]
         );
         // finished_at is monotone increasing.
-        assert!(events.windows(2).all(|w| w[0].finished_at_s < w[1].finished_at_s));
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].finished_at_s < w[1].finished_at_s));
     }
 
     #[test]

@@ -15,7 +15,11 @@ fn setup() -> (Device, FlTask, DeadlineSchedule, ClientRunner) {
     (device, task, schedule, runner)
 }
 
-fn run_variant(config: BoflConfig, schedule: &DeadlineSchedule, runner: &ClientRunner) -> (RunSummary, BoflController) {
+fn run_variant(
+    config: BoflConfig,
+    schedule: &DeadlineSchedule,
+    runner: &ClientRunner,
+) -> (RunSummary, BoflController) {
     let mut ctrl = BoflController::new(config);
     let run = runner.run(&mut ctrl, schedule.deadlines());
     (run, ctrl)

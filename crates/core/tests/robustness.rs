@@ -81,7 +81,10 @@ fn bofl_survives_latency_spikes() {
         }
         total_spikes += exec.spikes;
     }
-    assert!(total_spikes > 20, "spikes must actually occur: {total_spikes}");
+    assert!(
+        total_spikes > 20,
+        "spikes must actually occur: {total_spikes}"
+    );
     assert!(
         missed <= 1,
         "BoFL should absorb 2% spike rate at ratio 2.5, missed {missed}/15"
@@ -140,12 +143,22 @@ fn alternating_tight_loose_deadlines() {
     let task = FlTask::preset(TaskKind::ImagenetResnet50, Testbed::JetsonAgx);
     let t_min = device.round_latency_at_max(&task);
     let deadlines: Vec<f64> = (0..16)
-        .map(|i| if i % 2 == 0 { t_min * 1.06 } else { t_min * 3.5 })
+        .map(|i| {
+            if i % 2 == 0 {
+                t_min * 1.06
+            } else {
+                t_min * 3.5
+            }
+        })
         .collect();
     let runner = ClientRunner::new(device, task, 55);
     let mut ctrl = BoflController::new(BoflConfig::fast_test());
     let run = runner.run(&mut ctrl, &deadlines);
-    assert_eq!(run.deadlines_met(), 16, "hostile alternation broke a deadline");
+    assert_eq!(
+        run.deadlines_met(),
+        16,
+        "hostile alternation broke a deadline"
+    );
     // Exploration should still happen — concentrated in the loose rounds.
     assert!(run.total_explored() >= 10, "exploration starved");
 }

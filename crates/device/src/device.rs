@@ -150,6 +150,41 @@ impl Device {
         &self.name
     }
 
+    /// The relative standard deviation of per-job latency jitter.
+    pub fn latency_jitter(&self) -> f64 {
+        self.latency_jitter
+    }
+
+    /// Returns this device with a different per-job latency jitter — the
+    /// hook fleet generation uses to give every sampled client its own
+    /// thermal/interference profile without rebuilding the full model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter < 0`.
+    #[must_use]
+    pub fn with_latency_jitter(mut self, jitter: f64) -> Device {
+        assert!(jitter >= 0.0, "latency jitter must be >= 0");
+        self.latency_jitter = jitter;
+        self
+    }
+
+    /// Returns this device with a different DVFS transition latency
+    /// (per-client governor/firmware variation in a heterogeneous fleet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or non-finite.
+    #[must_use]
+    pub fn with_transition_latency_s(mut self, seconds: f64) -> Device {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "transition latency must be finite and >= 0"
+        );
+        self.transition_latency_s = seconds;
+        self
+    }
+
     /// The discrete DVFS configuration space.
     pub fn config_space(&self) -> &ConfigSpace {
         &self.space
@@ -543,5 +578,32 @@ mod tests {
     #[should_panic(expected = "cpu_table is required")]
     fn builder_requires_tables() {
         let _ = Device::builder("incomplete").build();
+    }
+
+    #[test]
+    fn jitter_and_transition_overrides() {
+        let dev = Device::jetson_agx()
+            .with_latency_jitter(0.07)
+            .with_transition_latency_s(0.004);
+        assert_eq!(dev.latency_jitter(), 0.07);
+        assert_eq!(dev.transition_latency_s(), 0.004);
+        // The deterministic cost model is untouched by jitter overrides.
+        let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
+        let base = Device::jetson_agx().true_cost(&task, dev.config_space().x_max());
+        let tuned = dev.true_cost(&task, dev.config_space().x_max());
+        assert_eq!(base, tuned);
+        // But measured executions spread further.
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = dev.config_space().x_max();
+        let spread = |d: &Device, rng: &mut StdRng| -> f64 {
+            let costs: Vec<f64> = (0..200)
+                .map(|_| d.run_job(&task, x, rng).latency_s)
+                .collect();
+            let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+            costs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / costs.len() as f64
+        };
+        let calm = spread(&Device::jetson_agx(), &mut rng);
+        let hot = spread(&dev, &mut rng);
+        assert!(hot > calm, "higher jitter must widen latency spread");
     }
 }

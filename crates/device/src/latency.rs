@@ -241,9 +241,17 @@ mod tests {
         let lm = agx_like();
         for kind in TaskKind::all() {
             let task = FlTask::preset(kind, Testbed::JetsonAgx);
-            for x in [cfg(420, 114, 204), cfg(2265, 1377, 2133), cfg(1100, 700, 800)] {
+            for x in [
+                cfg(420, 114, 204),
+                cfg(2265, 1377, 2133),
+                cfg(1100, 700, 800),
+            ] {
                 let b = lm.evaluate(&task, x);
-                for u in [b.gpu_utilization(), b.cpu_utilization(), b.mem_utilization()] {
+                for u in [
+                    b.gpu_utilization(),
+                    b.cpu_utilization(),
+                    b.mem_utilization(),
+                ] {
                     assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
                 }
                 assert!(b.total_s > 0.0);

@@ -19,7 +19,13 @@ fn check(device: &Device, testbed: Testbed, kind: TaskKind, tmin_paper: f64, tol
 fn agx_tmin_matches_table2() {
     let agx = Device::jetson_agx();
     check(&agx, Testbed::JetsonAgx, TaskKind::Cifar10Vit, 37.2, 0.10);
-    check(&agx, Testbed::JetsonAgx, TaskKind::ImagenetResnet50, 46.9, 0.10);
+    check(
+        &agx,
+        Testbed::JetsonAgx,
+        TaskKind::ImagenetResnet50,
+        46.9,
+        0.10,
+    );
     check(&agx, Testbed::JetsonAgx, TaskKind::ImdbLstm, 46.1, 0.10);
 }
 
@@ -27,7 +33,13 @@ fn agx_tmin_matches_table2() {
 fn tx2_tmin_matches_table2() {
     let tx2 = Device::jetson_tx2();
     check(&tx2, Testbed::JetsonTx2, TaskKind::Cifar10Vit, 36.0, 0.10);
-    check(&tx2, Testbed::JetsonTx2, TaskKind::ImagenetResnet50, 49.2, 0.10);
+    check(
+        &tx2,
+        Testbed::JetsonTx2,
+        TaskKind::ImagenetResnet50,
+        49.2,
+        0.10,
+    );
     check(&tx2, Testbed::JetsonTx2, TaskKind::ImdbLstm, 55.6, 0.10);
 }
 

@@ -5,7 +5,7 @@ use crate::data::SyntheticDataset;
 use crate::model::{Minibatch, TrainableModel};
 use crate::network::{BandwidthEstimator, NetworkModel, ReportingDeadline};
 use bofl::task::PaceController;
-use bofl::{JobExecutor, RoundSpec};
+use bofl::{JobExecutor, Phase, RoundSpec};
 use bofl_device::{
     ConfigSpace, Device, DvfsActuator, DvfsConfig, JobCost, SimulatedActuator, VirtualClock,
 };
@@ -140,6 +140,9 @@ pub struct ClientRoundResult {
     pub duration_s: f64,
     /// Final minibatch loss, as a cheap progress signal.
     pub last_loss: f64,
+    /// The controller phase this round ran in (`None` for phase-less
+    /// baselines like Performant/Oracle).
+    pub phase: Option<Phase>,
 }
 
 /// One federated client: local data, a simulated device, and a pluggable
@@ -232,8 +235,7 @@ impl FlClient {
     /// AutoFL-style energy-aware server ranks clients by).
     pub fn round_energy_at_max_j(&self) -> f64 {
         let x_max = self.device.config_space().x_max();
-        self.device.true_cost(&self.task, x_max).energy_j
-            * self.task.jobs_per_round() as f64
+        self.device.true_cost(&self.task, x_max).energy_j * self.task.jobs_per_round() as f64
     }
 
     /// Runs one local training round: download `global` parameters, run
@@ -256,7 +258,7 @@ impl FlClient {
             self.learning_rate,
             seed,
         );
-        self.controller.run_round(&spec, &mut exec);
+        let stats = self.controller.run_round(&spec, &mut exec);
         let duration_s = exec.elapsed_s();
         let energy_j = exec.round_energy_j();
         let last_loss = exec.last_loss();
@@ -269,6 +271,7 @@ impl FlClient {
             energy_j,
             duration_s,
             last_loss,
+            phase: stats.phase,
         }
     }
 

@@ -137,12 +137,7 @@ impl FederatedData {
     /// # Panics
     ///
     /// Panics if `clients == 0` or `alpha <= 0`.
-    pub fn dirichlet_split(
-        data: &SyntheticDataset,
-        clients: usize,
-        alpha: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn dirichlet_split(data: &SyntheticDataset, clients: usize, alpha: f64, seed: u64) -> Self {
         assert!(clients > 0, "need at least one client");
         assert!(alpha > 0.0, "alpha must be positive");
         let mut rng = StdRng::seed_from_u64(seed);

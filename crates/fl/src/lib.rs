@@ -16,7 +16,11 @@
 //!   the corresponding latency and energy; the pace controller (BoFL or a
 //!   baseline) decides each job's DVFS configuration;
 //! - [`server`] — a FedAvg server with client selection, per-round
-//!   deadline assignment, straggler dropping and weighted aggregation.
+//!   deadline assignment, straggler dropping and weighted aggregation;
+//! - [`engine`] — the round-execution seam: the server hands each round's
+//!   batch of [`engine::ClientJob`]s to a pluggable [`engine::RoundEngine`]
+//!   ([`engine::SequentialEngine`] by default; the `bofl-fleet` crate
+//!   provides a deterministic multi-threaded engine with fault injection).
 //!
 //! # Examples
 //!
@@ -46,24 +50,32 @@
 
 pub mod client;
 pub mod data;
+pub mod engine;
 pub mod model;
 pub mod network;
 pub mod server;
 
 pub use client::{FlClient, TrainingExecutor};
 pub use data::{FederatedData, SyntheticDataset};
+pub use engine::{ClientJob, ClientOutcome, RoundDeadline, RoundEngine, SequentialEngine};
 pub use model::{Minibatch, MlpModel, SoftmaxModel, TrainableModel};
 pub use network::{BandwidthEstimator, NetworkModel, ReportingDeadline};
-pub use server::{DeadlinePolicy, SelectionPolicy, Federation, FederationBuilder, FederationConfig, RoundRecord, RunHistory};
+pub use server::{
+    DeadlinePolicy, Federation, FederationBuilder, FederationConfig, RoundRecord, RunHistory,
+    SelectionPolicy,
+};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::client::FlClient;
     pub use crate::data::{FederatedData, SyntheticDataset};
+    pub use crate::engine::{
+        ClientJob, ClientOutcome, RoundDeadline, RoundEngine, SequentialEngine,
+    };
     pub use crate::model::{MlpModel, SoftmaxModel, TrainableModel};
     pub use crate::network::{BandwidthEstimator, NetworkModel, ReportingDeadline};
     pub use crate::server::{
-        DeadlinePolicy, Federation, FederationBuilder, FederationConfig, RoundRecord,
-        RunHistory, SelectionPolicy,
+        DeadlinePolicy, Federation, FederationBuilder, FederationConfig, RoundRecord, RunHistory,
+        SelectionPolicy,
     };
 }

@@ -166,7 +166,11 @@ impl TrainableModel for SoftmaxModel {
     }
 
     fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.weights.len(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.weights.len(),
+            "parameter length mismatch"
+        );
         self.weights.copy_from_slice(params);
     }
 
@@ -311,7 +315,11 @@ impl TrainableModel for MlpModel {
     }
 
     fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.weights.len(), "parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.weights.len(),
+            "parameter length mismatch"
+        );
         self.weights.copy_from_slice(params);
     }
 
@@ -450,7 +458,10 @@ mod tests {
         for _ in 0..2000 {
             linear.sgd_step(&batch, 0.5);
         }
-        assert!(linear.accuracy(&xs, &ys) <= 0.75, "linear model solved XOR?");
+        assert!(
+            linear.accuracy(&xs, &ys) <= 0.75,
+            "linear model solved XOR?"
+        );
 
         let mut mlp = MlpModel::new(2, 8, 2, 3);
         for _ in 0..4000 {

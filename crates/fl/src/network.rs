@@ -128,8 +128,7 @@ impl BandwidthEstimator {
             Some(est) => {
                 let delta = rate - est;
                 let new_est = est + self.alpha * delta;
-                self.variance =
-                    (1.0 - self.alpha) * (self.variance + self.alpha * delta * delta);
+                self.variance = (1.0 - self.alpha) * (self.variance + self.alpha * delta * delta);
                 self.estimate_bps = Some(new_est);
             }
         }
@@ -150,9 +149,7 @@ impl BandwidthEstimator {
     pub fn conservative_bps(&self) -> Option<f64> {
         self.estimate_bps.map(|est| {
             let std = self.variance.sqrt();
-            (est - self.pessimism * std)
-                .min(est * 0.75)
-                .max(est * 0.1)
+            (est - self.pessimism * std).min(est * 0.75).max(est * 0.1)
         })
     }
 
@@ -295,7 +292,10 @@ mod tests {
         // Uploading 5 MB at the conservative 0.75 × 0.5 MB/s rate budgets
         // ≈13.3 s → training window ≈46.7 s.
         let t = rd.training_deadline_s(&est, 5.0e6, 5.0);
-        assert!((t - (60.0 - 5.0e6 / 375_000.0)).abs() < 0.5, "training deadline {t:.1}");
+        assert!(
+            (t - (60.0 - 5.0e6 / 375_000.0)).abs() < 0.5,
+            "training deadline {t:.1}"
+        );
         // The floor protects against absurd estimates.
         let t_floor = rd.training_deadline_s(&est, 1.0e9, 12.0);
         assert_eq!(t_floor, 12.0);

@@ -69,7 +69,10 @@ fn first_round_uses_whole_window_then_adapts() {
     // Round 0 already budgets from the model *download*, so even the
     // first reporting deadline holds.
     let r0 = client.train_round_reporting(0, &global, reporting);
-    assert!(r0.deadline_met, "first round must meet the reporting deadline");
+    assert!(
+        r0.deadline_met,
+        "first round must meet the reporting deadline"
+    );
     // The estimator keeps adapting on subsequent rounds.
     let before = client.bandwidth_estimate_bps().unwrap();
     let r1 = client.train_round_reporting(1, &global, reporting);

@@ -9,7 +9,10 @@ fn mixed_fleet_config(policy: SelectionPolicy) -> FederationConfig {
     FederationConfig {
         num_clients: 6,
         clients_per_round: 2,
-        rounds: 30,
+        // Enough selections (2 × 120) that the AGX-share gap between the
+        // two policies clears its threshold well outside sampling noise,
+        // whatever RNG stream backs the server.
+        rounds: 120,
         deadline_ratio: 2.0,
         classes: 3,
         feature_dims: 6,
@@ -59,8 +62,12 @@ fn energy_aware_selection_prefers_efficient_devices() {
     };
     let u = agx_share(&uniform);
     let a = agx_share(&aware);
+    // Exponential-rank sampling gives AGX (ranks 0–2) a true share around
+    // 0.67; uniform selection sits at 0.50. Test the aware share against
+    // the *known* uniform baseline rather than the empirical `u` — the
+    // latter doubles the sampling variance for no extra information.
     assert!(
-        a > u + 0.15,
+        a > 0.58 && a > u,
         "energy-aware selection should favor AGX clients: uniform {u:.2} vs aware {a:.2}"
     );
     // ...but must not starve the inefficient ones entirely (data coverage).

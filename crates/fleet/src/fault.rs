@@ -1,0 +1,208 @@
+//! Deterministic fault injection for fleet simulations.
+//!
+//! Real federated deployments lose clients mid-round (battery, churn),
+//! see transient stragglers (thermal throttling, co-located load) and drop
+//! uploads (cellular handoff). A [`FaultPlan`] models all three as
+//! independent per-`(round, client)` events drawn from a dedicated seed,
+//! so the exact same faults fire regardless of worker count or scheduling
+//! order — a hard requirement of the fleet engine's determinism contract.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The faults injected into one client's round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultDraw {
+    /// The client vanished mid-round; its update is never received.
+    pub dropped: bool,
+    /// Duration multiplier for a transient slowdown (`1.0` = healthy).
+    pub straggler_factor: f64,
+    /// Training finished but the upload was lost.
+    pub upload_failed: bool,
+}
+
+impl FaultDraw {
+    /// A draw with no faults.
+    pub fn healthy() -> Self {
+        FaultDraw {
+            dropped: false,
+            straggler_factor: 1.0,
+            upload_failed: false,
+        }
+    }
+}
+
+/// Probabilities and magnitudes of injected faults, plus the seed that
+/// makes every draw a pure function of `(round, client)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    dropout_probability: f64,
+    straggler_probability: f64,
+    straggler_slowdown: (f64, f64),
+    upload_failure_probability: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default for healthy fleets).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            dropout_probability: 0.0,
+            straggler_probability: 0.0,
+            straggler_slowdown: (1.0, 1.0),
+            upload_failure_probability: 0.0,
+        }
+    }
+
+    /// Starts a plan with the given fault seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Sets the per-round client dropout probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_dropout(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.dropout_probability = p;
+        self
+    }
+
+    /// Sets the transient-straggler probability and the slowdown range
+    /// `[lo, hi]` a straggling round's duration is multiplied by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or the range is not `1 ≤ lo ≤ hi`.
+    #[must_use]
+    pub fn with_stragglers(mut self, p: f64, slowdown: (f64, f64)) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        assert!(
+            1.0 <= slowdown.0 && slowdown.0 <= slowdown.1 && slowdown.1.is_finite(),
+            "slowdown range must satisfy 1 <= lo <= hi"
+        );
+        self.straggler_probability = p;
+        self.straggler_slowdown = slowdown;
+        self
+    }
+
+    /// Sets the probability that a completed round's upload is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_upload_failures(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.upload_failure_probability = p;
+        self
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_none(&self) -> bool {
+        self.dropout_probability == 0.0
+            && self.straggler_probability == 0.0
+            && self.upload_failure_probability == 0.0
+    }
+
+    /// Draws the faults for one `(round, client)` pair. Pure: the same
+    /// arguments always yield the same draw, on any thread.
+    pub fn draw(&self, round: usize, client_id: usize) -> FaultDraw {
+        if self.is_none() {
+            return FaultDraw::healthy();
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        let dropped = rng.gen::<f64>() < self.dropout_probability;
+        let straggler = rng.gen::<f64>() < self.straggler_probability;
+        let (lo, hi) = self.straggler_slowdown;
+        let straggler_factor = if straggler {
+            lo + (hi - lo) * rng.gen::<f64>()
+        } else {
+            1.0
+        };
+        let upload_failed = rng.gen::<f64>() < self.upload_failure_probability;
+        FaultDraw {
+            dropped,
+            straggler_factor,
+            upload_failed,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_always_healthy() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for round in 0..5 {
+            for client in 0..5 {
+                assert_eq!(plan.draw(round, client), FaultDraw::healthy());
+            }
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_round_and_client() {
+        let plan = FaultPlan::new(7)
+            .with_dropout(0.3)
+            .with_stragglers(0.4, (1.5, 3.0))
+            .with_upload_failures(0.2);
+        let a = plan.draw(3, 11);
+        let b = plan.draw(3, 11);
+        assert_eq!(a, b);
+        // Different coordinates give an independent draw stream.
+        let other = plan.draw(4, 11);
+        let another = plan.draw(3, 12);
+        // (Not all need differ, but across a grid *some* must.)
+        let grid: Vec<FaultDraw> = (0..20).map(|c| plan.draw(0, c)).collect();
+        assert!(grid.iter().any(|d| d.dropped) && grid.iter().any(|d| !d.dropped));
+        let _ = (other, another);
+    }
+
+    #[test]
+    fn certain_dropout_always_drops() {
+        let plan = FaultPlan::new(1).with_dropout(1.0);
+        assert!((0..50).all(|c| plan.draw(0, c).dropped));
+    }
+
+    #[test]
+    fn straggler_factor_stays_in_range() {
+        let plan = FaultPlan::new(2).with_stragglers(1.0, (2.0, 4.0));
+        for c in 0..50 {
+            let f = plan.draw(0, c).straggler_factor;
+            assert!((2.0..=4.0).contains(&f), "factor {f} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = FaultPlan::new(0).with_dropout(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown range")]
+    fn rejects_speedup_slowdown() {
+        let _ = FaultPlan::new(0).with_stragglers(0.5, (0.5, 2.0));
+    }
+}

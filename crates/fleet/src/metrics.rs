@@ -1,0 +1,294 @@
+//! Fleet-level metrics: per-round distributions over client outcomes,
+//! deadline-miss/fault accounting, phase occupancy, and CSV export in the
+//! same header-plus-rows shape as the repo's `results/` tables.
+
+use bofl::Phase;
+use bofl_fl::engine::ClientOutcome;
+use bofl_fl::server::RoundRecord;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Summary statistics of one per-client quantity within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Distribution {
+    /// Number of samples.
+    pub count: usize,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// 95th-percentile sample (nearest-rank; 0 when empty).
+    pub p95: f64,
+}
+
+impl Distribution {
+    /// Summarizes `samples` (need not be sorted).
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Distribution::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Distribution {
+            count: sorted.len(),
+            sum: sorted.iter().sum(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p95: sorted[rank - 1],
+        }
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything the fleet aggregator distills out of one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRoundStats {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Clients selected this round.
+    pub selected: usize,
+    /// Updates actually aggregated.
+    pub aggregated: usize,
+    /// The server's training deadline, seconds.
+    pub deadline_s: f64,
+    /// Per-client round energy, joules.
+    pub energy_j: Distribution,
+    /// Per-client round duration, seconds.
+    pub latency_s: Distribution,
+    /// Fraction of selected clients that missed their deadline.
+    pub deadline_miss_rate: f64,
+    /// Clients lost to dropout (server- or fault-injected).
+    pub dropouts: usize,
+    /// Clients whose upload was lost after training.
+    pub upload_failures: usize,
+    /// Clients that ran with a straggler slowdown (factor > 1).
+    pub stragglers: usize,
+    /// Clients per controller phase:
+    /// `[none, random exploration, pareto construction, exploitation]`.
+    pub phase_counts: [usize; 4],
+    /// Global-model test accuracy after the round.
+    pub test_accuracy: f64,
+}
+
+impl FleetRoundStats {
+    /// Distills a round's record and outcomes.
+    pub fn from_round(record: &RoundRecord, outcomes: &[ClientOutcome]) -> Self {
+        let energies: Vec<f64> = outcomes.iter().map(|o| o.result.energy_j).collect();
+        let latencies: Vec<f64> = outcomes.iter().map(|o| o.result.duration_s).collect();
+        let misses = outcomes.iter().filter(|o| o.missed_deadline()).count();
+        let mut phase_counts = [0usize; 4];
+        for o in outcomes {
+            let slot = match o.result.phase {
+                None => 0,
+                Some(Phase::RandomExploration) => 1,
+                Some(Phase::ParetoConstruction) => 2,
+                Some(Phase::Exploitation) => 3,
+            };
+            phase_counts[slot] += 1;
+        }
+        FleetRoundStats {
+            round: record.round,
+            selected: record.selected.len(),
+            aggregated: record.aggregated.len(),
+            deadline_s: record.deadline_s,
+            energy_j: Distribution::of(&energies),
+            latency_s: Distribution::of(&latencies),
+            deadline_miss_rate: if outcomes.is_empty() {
+                0.0
+            } else {
+                misses as f64 / outcomes.len() as f64
+            },
+            dropouts: outcomes.iter().filter(|o| o.dropped).count(),
+            upload_failures: outcomes.iter().filter(|o| o.upload_failed).count(),
+            stragglers: outcomes.iter().filter(|o| o.straggler_factor > 1.0).count(),
+            phase_counts,
+            test_accuracy: record.test_accuracy,
+        }
+    }
+}
+
+/// Accumulates per-round fleet statistics over a run and renders them as
+/// CSV (one row per round, same conventions as `results/*.csv`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetMetrics {
+    rounds: Vec<FleetRoundStats>,
+}
+
+impl FleetMetrics {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        FleetMetrics::default()
+    }
+
+    /// Records one round.
+    pub fn record(&mut self, record: &RoundRecord, outcomes: &[ClientOutcome]) {
+        self.rounds
+            .push(FleetRoundStats::from_round(record, outcomes));
+    }
+
+    /// The per-round statistics recorded so far.
+    pub fn rounds(&self) -> &[FleetRoundStats] {
+        &self.rounds
+    }
+
+    /// Total fleet energy across recorded rounds, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.rounds.iter().map(|r| r.energy_j.sum).sum()
+    }
+
+    /// Mean deadline-miss rate across recorded rounds.
+    pub fn mean_miss_rate(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds
+            .iter()
+            .map(|r| r.deadline_miss_rate)
+            .sum::<f64>()
+            / self.rounds.len() as f64
+    }
+
+    /// The CSV header this aggregator emits.
+    pub const CSV_HEADER: &'static str = "round,selected,aggregated,deadline_s,\
+energy_total_j,energy_mean_j,energy_p95_j,latency_mean_s,latency_p95_s,latency_max_s,\
+miss_rate,dropouts,upload_failures,stragglers,\
+phase_none,phase_random,phase_pareto,phase_exploit,test_accuracy";
+
+    /// Renders all recorded rounds as CSV. Formatting is fixed-precision,
+    /// so two runs with identical traces produce byte-identical files —
+    /// the artifact the determinism acceptance check diffs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for r in &self.rounds {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{:.4}\n",
+                r.round,
+                r.selected,
+                r.aggregated,
+                r.deadline_s,
+                r.energy_j.sum,
+                r.energy_j.mean(),
+                r.energy_j.p95,
+                r.latency_s.mean(),
+                r.latency_s.p95,
+                r.latency_s.max,
+                r.deadline_miss_rate,
+                r.dropouts,
+                r.upload_failures,
+                r.stragglers,
+                r.phase_counts[0],
+                r.phase_counts[1],
+                r.phase_counts[2],
+                r.phase_counts[3],
+                r.test_accuracy,
+            ));
+        }
+        out
+    }
+
+    /// Writes the CSV to `path`, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bofl_fl::client::ClientRoundResult;
+
+    fn outcome(id: usize, energy: f64, duration: f64, met: bool) -> ClientOutcome {
+        ClientOutcome {
+            client_id: id,
+            result: ClientRoundResult {
+                parameters: vec![0.0],
+                samples: 10,
+                deadline_met: met,
+                energy_j: energy,
+                duration_s: duration,
+                last_loss: 0.5,
+                phase: Some(Phase::Exploitation),
+            },
+            dropped: false,
+            straggler_factor: 1.0,
+            upload_failed: false,
+        }
+    }
+
+    fn record(round: usize) -> RoundRecord {
+        RoundRecord {
+            round,
+            selected: vec![0, 1, 2],
+            aggregated: vec![0, 1],
+            deadline_s: 10.0,
+            energy_j: 60.0,
+            test_accuracy: 0.8,
+            test_loss: 0.4,
+        }
+    }
+
+    #[test]
+    fn distribution_summary() {
+        let d = Distribution::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 3.0);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(d.p95, 3.0);
+        assert_eq!(Distribution::of(&[]), Distribution::default());
+    }
+
+    #[test]
+    fn round_stats_aggregate_outcomes() {
+        let outcomes = vec![
+            outcome(0, 10.0, 5.0, true),
+            outcome(1, 20.0, 6.0, true),
+            outcome(2, 30.0, 12.0, false),
+        ];
+        let s = FleetRoundStats::from_round(&record(0), &outcomes);
+        assert_eq!(s.selected, 3);
+        assert_eq!(s.aggregated, 2);
+        assert!((s.energy_j.sum - 60.0).abs() < 1e-12);
+        assert!((s.deadline_miss_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.phase_counts, [0, 0, 0, 3]);
+        assert_eq!(s.stragglers, 0);
+    }
+
+    #[test]
+    fn csv_is_stable_and_well_formed() {
+        let mut m = FleetMetrics::new();
+        m.record(&record(0), &[outcome(0, 10.0, 5.0, true)]);
+        m.record(&record(1), &[outcome(1, 12.0, 5.5, true)]);
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = FleetMetrics::CSV_HEADER.split(',').count();
+        for line in &lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        // Identical inputs render identical bytes.
+        assert_eq!(csv, m.clone().to_csv());
+        assert!(m.total_energy_j() > 0.0);
+        assert_eq!(m.mean_miss_rate(), 0.0);
+    }
+}

@@ -194,9 +194,7 @@ impl GaussianProcess {
             Ok((chol, alpha)) => {
                 let fit: f64 = ys_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
                 let n = ys_std.len() as f64;
-                -0.5 * fit
-                    - 0.5 * chol.log_det()
-                    - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+                -0.5 * fit - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
             }
             Err(_) => f64::NEG_INFINITY,
         }

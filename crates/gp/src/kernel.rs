@@ -47,7 +47,10 @@ fn validate(variance: f64, lengthscales: &[f64]) {
         variance.is_finite() && variance > 0.0,
         "kernel variance must be positive, got {variance}"
     );
-    assert!(!lengthscales.is_empty(), "at least one lengthscale required");
+    assert!(
+        !lengthscales.is_empty(),
+        "at least one lengthscale required"
+    );
     assert!(
         lengthscales.iter().all(|l| l.is_finite() && *l > 0.0),
         "lengthscales must be positive"

@@ -112,11 +112,7 @@ impl NelderMead {
             // symmetric around a 1-D minimum) must not stop the search.
             let diameter = simplex[1..]
                 .iter()
-                .flat_map(|(x, _)| {
-                    x.iter()
-                        .zip(&simplex[0].0)
-                        .map(|(a, b)| (a - b).abs())
-                })
+                .flat_map(|(x, _)| x.iter().zip(&simplex[0].0).map(|(a, b)| (a - b).abs()))
                 .fold(0.0f64, f64::max);
             let scale = 1.0 + simplex[0].0.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             if (worst - best).abs() <= self.tolerance * (1.0 + best.abs())

@@ -366,7 +366,9 @@ mod tests {
         // Deterministic pseudo-random Pareto-ish candidate sets.
         let mut state = 0xDEADBEEFu64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64 / 1000.0
         };
         for trial in 0..30 {
@@ -385,8 +387,7 @@ mod tests {
             let jobs = 12;
             let fastest = cands[0].latency_s;
             let slowest = cands.last().unwrap().latency_s;
-            let deadline = fastest * jobs as f64
-                + (slowest - fastest) * jobs as f64 * next();
+            let deadline = fastest * jobs as f64 + (slowest - fastest) * jobs as f64 * next();
             let exact = solve_profile(&cands, jobs, deadline).unwrap();
             let pairs = solve_profile_pairs(&cands, jobs, deadline).unwrap();
             assert!(exact.latency_s <= deadline + 1e-9);

@@ -107,8 +107,7 @@ impl Tableau {
         let rhs_col = self.n_cols;
         loop {
             // Bland's rule: smallest-index column with negative reduced cost.
-            let entering = (0..self.n_cols)
-                .find(|&j| allowed[j] && self.cost[j] < -EPS);
+            let entering = (0..self.n_cols).find(|&j| allowed[j] && self.cost[j] < -EPS);
             let Some(col) = entering else {
                 return Ok(());
             };

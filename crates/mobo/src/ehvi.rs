@@ -45,9 +45,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -101,11 +100,7 @@ pub struct BiGaussian {
 /// assert!(e_good > e_bad);
 /// assert!(e_bad >= 0.0);
 /// ```
-pub fn expected_hypervolume_improvement(
-    front: &ParetoFront,
-    post: BiGaussian,
-    r: [f64; 2],
-) -> f64 {
+pub fn expected_hypervolume_improvement(front: &ParetoFront, post: BiGaussian, r: [f64; 2]) -> f64 {
     let s0 = post.std0.max(1e-12);
     let s1 = post.std1.max(1e-12);
 

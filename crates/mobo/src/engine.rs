@@ -23,8 +23,7 @@ impl Observation {
 
     /// `true` iff all coordinates and objectives are finite.
     pub fn is_finite(&self) -> bool {
-        self.point.iter().all(|v| v.is_finite())
-            && self.objectives.iter().all(|v| v.is_finite())
+        self.point.iter().all(|v| v.is_finite()) && self.objectives.iter().all(|v| v.is_finite())
     }
 }
 
@@ -176,10 +175,7 @@ impl MoboEngine {
 
     /// The Pareto front of all observations (objective space).
     pub fn pareto_front(&self) -> ParetoFront {
-        self.observations
-            .iter()
-            .map(|o| o.objectives)
-            .collect()
+        self.observations.iter().map(|o| o.objectives).collect()
     }
 
     /// Indices of the observations that lie on the Pareto front.
@@ -412,10 +408,7 @@ mod tests {
     fn toy_observe(engine: &mut MoboEngine, xs: &[f64]) {
         for &x in xs {
             engine
-                .observe(Observation::new(
-                    vec![x],
-                    [x * x, (1.0 - x) * (1.0 - x)],
-                ))
+                .observe(Observation::new(vec![x], [x * x, (1.0 - x) * (1.0 - x)]))
                 .unwrap();
         }
     }
@@ -471,8 +464,7 @@ mod tests {
         let mut e = MoboEngine::new(MoboConfig::default());
         // Observe everything except the region around 0.5.
         toy_observe(&mut e, &[0.0, 0.1, 0.2, 0.8, 0.9, 1.0]);
-        let candidates: Vec<Vec<f64>> =
-            (0..=20).map(|i| vec![i as f64 / 20.0]).collect();
+        let candidates: Vec<Vec<f64>> = (0..=20).map(|i| vec![i as f64 / 20.0]).collect();
         let picked = e.suggest(3, &candidates).unwrap();
         assert_eq!(picked.len(), 3);
         // At least one pick should land in the unexplored middle.

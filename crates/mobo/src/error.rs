@@ -36,7 +36,10 @@ impl fmt::Display for MoboError {
             }
             MoboError::NonFinite => write!(f, "observation contains non-finite values"),
             MoboError::DimensionMismatch { expected, got } => {
-                write!(f, "point dimension {got} does not match expected {expected}")
+                write!(
+                    f,
+                    "point dimension {got} does not match expected {expected}"
+                )
             }
             MoboError::NoCandidates => write!(f, "candidate set must not be empty"),
             MoboError::Gp(e) => write!(f, "surrogate model failure: {e}"),

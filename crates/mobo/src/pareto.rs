@@ -94,11 +94,7 @@ impl ParetoFront {
             !p[0].is_nan() && !p[1].is_nan(),
             "pareto front points must not be NaN"
         );
-        if self
-            .points
-            .iter()
-            .any(|&q| dominates(q, p) || q == p)
-        {
+        if self.points.iter().any(|&q| dominates(q, p) || q == p) {
             return false;
         }
         self.points.retain(|&q| !dominates(p, q));
@@ -220,9 +216,7 @@ mod tests {
 
     #[test]
     fn eviction_on_dominating_insert() {
-        let mut front: ParetoFront = [[2.0, 2.0], [1.0, 3.0], [3.0, 1.0]]
-            .into_iter()
-            .collect();
+        let mut front: ParetoFront = [[2.0, 2.0], [1.0, 3.0], [3.0, 1.0]].into_iter().collect();
         assert_eq!(front.len(), 3);
         assert!(front.insert([0.0, 0.0]));
         assert_eq!(front.len(), 1);

@@ -17,7 +17,11 @@ fn main() {
     let runner = ClientRunner::new(device.clone(), task.clone(), 17);
     let profile = device.profile_all(&task);
 
-    println!("IMDB-LSTM on {}, {} rounds per point\n", device.name(), rounds);
+    println!(
+        "IMDB-LSTM on {}, {} rounds per point\n",
+        device.name(),
+        rounds
+    );
     println!(
         "{:>6} {:>16} {:>14} {:>14}",
         "ratio", "improvement (%)", "regret (%)", "explored"

@@ -11,6 +11,7 @@ use bofl::baselines::PerformantController;
 use bofl::{BoflConfig, BoflController};
 use bofl_device::Device;
 use bofl_fl::prelude::*;
+use bofl_fleet::FleetEngine;
 
 fn config() -> FederationConfig {
     FederationConfig {
@@ -37,10 +38,18 @@ fn mixed_devices(id: usize) -> Device {
     }
 }
 
-fn run(label: &str, make_controller: impl Fn() -> Box<dyn bofl::task::PaceController> + 'static) -> RunHistory {
+fn run(
+    label: &str,
+    make_controller: impl Fn() -> Box<dyn bofl::task::PaceController> + 'static,
+) -> RunHistory {
+    // A small cluster doesn't need the parallel worker pool; the
+    // single-threaded fleet engine keeps the run easy to step through.
+    // Swap in `FleetEngine::new(workers)` to scale up (see the
+    // `fleet_scale` example) — the trace is identical either way.
     let mut federation = Federation::builder(config())
         .device_factory(mixed_devices)
         .controller_factory(make_controller)
+        .engine(FleetEngine::sequential())
         .build();
     let history = federation.run();
     println!("\n=== federation with {label} clients ===");

@@ -1,0 +1,105 @@
+//! Fleet-scale simulation: 200 heterogeneous clients over 20 federated
+//! rounds, executed twice from the same fleet seed — once on the
+//! sequential fleet engine and once on a multi-threaded worker pool — to
+//! demonstrate the engine's headline property: the aggregate trace (and
+//! the exported metrics CSV) is byte-identical at any worker count, while
+//! wall-clock time drops with available cores.
+//!
+//! ```sh
+//! cargo run --release --example fleet_scale
+//! ```
+
+use bofl_fl::FederationConfig;
+use bofl_fleet::prelude::*;
+use std::time::Instant;
+
+const CLIENTS: usize = 200;
+const ROUNDS: usize = 20;
+const PER_ROUND: usize = 40;
+const FLEET_SEED: u64 = 2022;
+
+fn simulation(workers: usize) -> FleetSimulation {
+    let spec = FleetSpec::mixed(CLIENTS, FLEET_SEED);
+    FleetSimulation::builder(spec)
+        .federation(FederationConfig {
+            clients_per_round: PER_ROUND,
+            rounds: ROUNDS,
+            deadline_ratio: 2.5,
+            dirichlet_alpha: 0.5,
+            feature_dims: 10,
+            classes: 5,
+            learning_rate: 0.25,
+            seed: FLEET_SEED,
+            ..FederationConfig::default()
+        })
+        .workers(workers)
+        .faults(
+            FaultPlan::new(FLEET_SEED ^ 0xFA17)
+                .with_dropout(0.05)
+                .with_stragglers(0.10, (1.5, 3.0))
+                .with_upload_failures(0.03),
+        )
+        .build()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = cores.max(4);
+    println!(
+        "fleet: {CLIENTS} mixed AGX/TX2 clients, {ROUNDS} rounds × {PER_ROUND} clients, \
+         fault injection on ({cores} cores available)"
+    );
+
+    let started = Instant::now();
+    let sequential = simulation(1).run();
+    let seq_s = started.elapsed().as_secs_f64();
+    println!("sequential engine: {seq_s:.2}s");
+
+    let started = Instant::now();
+    let parallel = simulation(workers).run();
+    let par_s = started.elapsed().as_secs_f64();
+    println!(
+        "parallel engine ({workers} workers): {par_s:.2}s  ({:.2}x)",
+        seq_s / par_s
+    );
+
+    // The determinism contract, checked at the artifact level: both runs
+    // must export byte-identical fleet metrics.
+    let seq_csv = sequential.metrics.to_csv();
+    let par_csv = parallel.metrics.to_csv();
+    assert_eq!(
+        sequential.history, parallel.history,
+        "trace must not depend on workers"
+    );
+    assert_eq!(seq_csv, par_csv, "metrics CSV must not depend on workers");
+    println!("determinism: sequential and parallel CSVs are byte-identical ✓");
+
+    if cores >= 4 {
+        assert!(
+            par_s * 2.0 <= seq_s,
+            "with {cores} cores, {workers} workers should be ≥2x faster \
+             (sequential {seq_s:.2}s vs parallel {par_s:.2}s)"
+        );
+        println!("speedup: ≥2x over sequential ✓");
+    } else {
+        println!("speedup check skipped: needs ≥4 cores, found {cores}");
+    }
+
+    println!("\nper-round fleet metrics (first 5 rounds):");
+    for line in seq_csv.lines().take(6) {
+        println!("  {line}");
+    }
+    let last = sequential.metrics.rounds().last().expect("rounds ran");
+    println!(
+        "\nfinal round: {}/{} aggregated, miss rate {:.2}, accuracy {:.1}%",
+        last.aggregated,
+        last.selected,
+        last.deadline_miss_rate,
+        last.test_accuracy * 100.0
+    );
+    println!(
+        "total fleet energy {:.0} J across {} rounds",
+        sequential.total_energy_j(),
+        ROUNDS
+    );
+}

@@ -13,9 +13,16 @@ fn main() {
     // 1. Pick a device and an FL task (Table 1 / Table 2 presets).
     let device = Device::jetson_agx();
     let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
-    println!("device: {} ({} DVFS configurations)", device.name(), device.config_space().len());
+    println!(
+        "device: {} ({} DVFS configurations)",
+        device.name(),
+        device.config_space().len()
+    );
     println!("task:   {task}");
-    println!("T_min:  {:.1} s per round at x_max\n", device.round_latency_at_max(&task));
+    println!(
+        "T_min:  {:.1} s per round at x_max\n",
+        device.round_latency_at_max(&task)
+    );
 
     // 2. Sample 40 round deadlines uniformly from [T_min, 2·T_min], as the
     //    paper's server does at deadline ratio 2.
@@ -33,7 +40,10 @@ fn main() {
     let oracle_run = runner.run(&mut oracle, schedule.deadlines());
 
     // 4. Report.
-    println!("{:<12} {:>12} {:>10} {:>10}", "controller", "energy (J)", "deadlines", "explored");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "controller", "energy (J)", "deadlines", "explored"
+    );
     for run in [&bofl_run, &perf_run, &oracle_run] {
         println!(
             "{:<12} {:>12.0} {:>7}/{:<2} {:>10}",

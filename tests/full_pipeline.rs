@@ -28,8 +28,16 @@ fn headline_ordering_on_both_testbeds() {
         let mut oracle = OracleController::new(device.profile_all(&task));
         let o = runner.run(&mut oracle, schedule.deadlines());
 
-        assert_eq!(b.deadlines_met(), rounds, "{testbed}: BoFL missed deadlines");
-        assert_eq!(o.deadlines_met(), rounds, "{testbed}: Oracle missed deadlines");
+        assert_eq!(
+            b.deadlines_met(),
+            rounds,
+            "{testbed}: BoFL missed deadlines"
+        );
+        assert_eq!(
+            o.deadlines_met(),
+            rounds,
+            "{testbed}: Oracle missed deadlines"
+        );
         assert!(
             improvement_vs(&b, &p) > 0.03,
             "{testbed}: BoFL should beat Performant, improvement {:.3}",
@@ -143,7 +151,9 @@ fn federation_with_bofl_clients_learns_and_saves() {
     };
     let mut bofl_fed = Federation::builder(config)
         .controller_factory(|| {
-            Box::new(bofl_repro::bofl::BoflController::new(BoflConfig::fast_test()))
+            Box::new(bofl_repro::bofl::BoflController::new(
+                BoflConfig::fast_test(),
+            ))
         })
         .build();
     let bofl_hist = bofl_fed.run();

@@ -97,7 +97,10 @@ fn device_pareto_front_is_consistent() {
         .collect();
     let front_idx = pareto_front_indices(&objectives);
     assert!(front_idx.len() >= 5, "front too small: {}", front_idx.len());
-    assert!(front_idx.len() < objectives.len() / 4, "front suspiciously large");
+    assert!(
+        front_idx.len() < objectives.len() / 4,
+        "front suspiciously large"
+    );
 
     let reference = [
         objectives.iter().map(|o| o[0]).fold(0.0, f64::max) * 1.01,
@@ -106,9 +109,7 @@ fn device_pareto_front_is_consistent() {
     let full: ParetoFront = objectives.iter().copied().collect();
     let front_only: ParetoFront = front_idx.iter().map(|&i| objectives[i]).collect();
     // Dominated points contribute nothing to the hypervolume.
-    assert!(
-        (hypervolume(&full, reference) - hypervolume(&front_only, reference)).abs() < 1e-9,
-    );
+    assert!((hypervolume(&full, reference) - hypervolume(&front_only, reference)).abs() < 1e-9,);
 
     // x_max is always on the front: nothing is faster.
     let x_max_idx = device
@@ -127,9 +128,18 @@ fn device_pareto_front_is_consistent() {
 #[test]
 fn core_planner_agrees_with_ilp_crate() {
     let candidates = [
-        ConfigCost { latency_s: 0.20, energy_j: 4.1 },
-        ConfigCost { latency_s: 0.26, energy_j: 3.5 },
-        ConfigCost { latency_s: 0.34, energy_j: 3.1 },
+        ConfigCost {
+            latency_s: 0.20,
+            energy_j: 4.1,
+        },
+        ConfigCost {
+            latency_s: 0.26,
+            energy_j: 3.5,
+        },
+        ConfigCost {
+            latency_s: 0.34,
+            energy_j: 3.1,
+        },
     ];
     let jobs = 50;
     let deadline = 0.26 * 50.0;

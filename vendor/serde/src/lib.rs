@@ -1,0 +1,22 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace's `serde` integration is an optional, off-by-default
+//! feature used only for annotating types with
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`. This
+//! stub lets those features *resolve* (and compile) in hermetic builds:
+//! the traits are markers and the derives are no-ops, so enabling the
+//! feature type-checks but provides no actual serialization. Swap the
+//! `[workspace.dependencies]` entry back to crates.io `serde` to get real
+//! encoders.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub:
+//! they accept any input and emit nothing, which is exactly enough for
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize))]` annotations
+//! to compile in hermetic builds.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
