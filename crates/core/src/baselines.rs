@@ -1,7 +1,7 @@
 //! The paper's two comparison targets (§6.1): **Performant** (always
 //! `x_max`) and **Oracle** (offline full profile, exploitation only).
 
-use crate::exploit::exploit_remaining;
+use crate::exploit::{exploit_remaining_with, ExploitParams};
 use crate::task::{ControllerRoundStats, PaceController, Phase};
 use crate::{JobExecutor, ObservationStore, RoundSpec};
 use bofl_device::ProfileEntry;
@@ -44,6 +44,7 @@ pub struct OracleController {
     safety_margin: f64,
     initialized: bool,
     profile: Vec<ProfileEntry>,
+    exploit_params: ExploitParams,
 }
 
 impl OracleController {
@@ -59,6 +60,7 @@ impl OracleController {
             safety_margin: 0.01,
             initialized: false,
             profile,
+            exploit_params: ExploitParams::default(),
         }
     }
 
@@ -66,6 +68,14 @@ impl OracleController {
     pub fn with_safety_margin(mut self, margin: f64) -> Self {
         assert!((0.0..0.5).contains(&margin), "margin must be in [0, 0.5)");
         self.safety_margin = margin;
+        self
+    }
+
+    /// Overrides the exploitation parameters (strategy and mid-round
+    /// escalation). The default enables escalation; robustness
+    /// experiments disable it to measure what the recovery layer buys.
+    pub fn with_params(mut self, params: ExploitParams) -> Self {
+        self.exploit_params = params;
         self
     }
 }
@@ -84,9 +94,17 @@ impl PaceController for OracleController {
             }
         }
         let effective = spec.deadline_s * (1.0 - self.safety_margin);
-        exploit_remaining(exec, spec, &mut self.store, spec.jobs as u64, effective);
+        let report = exploit_remaining_with(
+            exec,
+            spec,
+            &mut self.store,
+            spec.jobs as u64,
+            effective,
+            self.exploit_params,
+        );
         ControllerRoundStats {
             phase: Some(Phase::Exploitation),
+            escalated_jobs: report.escalated_jobs,
             ..ControllerRoundStats::default()
         }
     }

@@ -3,8 +3,9 @@
 //! the MBO engine ([`bofl_mobo`]) and the exploitation ILP
 //! ([`crate::exploit`]).
 
-use crate::exploit::{exploit_remaining_with, ExploitStrategy};
+use crate::exploit::{exploit_remaining_with, ExploitParams, ExploitStrategy};
 use crate::guardian::{explore_safely, SafeExplorationParams};
+use crate::observation::QuarantinePolicy;
 use crate::task::{ControllerRoundStats, PaceController, Phase};
 use crate::{JobExecutor, ObservationStore, RoundSpec};
 use bofl_device::{ConfigSpace, DvfsConfig};
@@ -67,6 +68,16 @@ pub struct BoflConfig {
     /// Whether the deadline guardian runs (ablation knob; disabling it is
     /// unsafe by design).
     pub guardian_enabled: bool,
+    /// Whether the mid-round guardian escalation runs during
+    /// exploitation: when observed latency overruns the plan the way a
+    /// straggler slowdown does, the rest of the round switches to `x_max`.
+    pub escalation_enabled: bool,
+    /// Trip ratio of the mid-round escalation (observed latency over
+    /// expected latency of the planned job).
+    pub escalation_factor: f64,
+    /// Quarantine for contaminated latency observations: inflated samples
+    /// are excluded from the aggregates feeding the GP surrogate.
+    pub quarantine: QuarantinePolicy,
 }
 
 impl Default for BoflConfig {
@@ -84,6 +95,9 @@ impl Default for BoflConfig {
             batching: BatchStrategy::GreedyFantasy,
             exploitation: ExploitStrategy::IlpProfile,
             guardian_enabled: true,
+            escalation_enabled: true,
+            escalation_factor: 2.5,
+            quarantine: QuarantinePolicy::with_factor(3.0),
         }
     }
 }
@@ -144,8 +158,8 @@ impl BoflController {
             ..MoboConfig::default()
         };
         BoflController {
+            store: ObservationStore::with_quarantine(config.quarantine),
             config,
-            store: ObservationStore::new(),
             phase: Phase::RandomExploration,
             pending_start_points: Vec::new(),
             pending_suggestions: Vec::new(),
@@ -351,6 +365,8 @@ impl BoflController {
             safety_margin: self.config.safety_margin,
             guardian_enabled: self.config.guardian_enabled,
             exploit_strategy: self.config.exploitation,
+            escalation_enabled: self.config.escalation_enabled,
+            escalation_factor: self.config.escalation_factor,
             ..SafeExplorationParams::default()
         }
     }
@@ -377,8 +393,9 @@ impl PaceController for BoflController {
         }
 
         let start = exec.elapsed_s();
+        let quarantined_before = self.store.quarantined_jobs();
         let params = self.exploration_params();
-        let stats = match self.phase {
+        let mut stats = match self.phase {
             Phase::RandomExploration => {
                 let candidates = self.pending_start_points.clone();
                 let out = explore_safely(exec, spec, &mut self.store, &candidates, params);
@@ -387,7 +404,8 @@ impl PaceController for BoflController {
                 ControllerRoundStats {
                     phase: Some(Phase::RandomExploration),
                     explored: out.explored,
-                    mbo_duration: None,
+                    escalated_jobs: out.escalated_jobs,
+                    ..ControllerRoundStats::default()
                 }
             }
             Phase::ParetoConstruction => {
@@ -399,25 +417,32 @@ impl PaceController for BoflController {
                     phase: Some(Phase::ParetoConstruction),
                     explored: out.explored,
                     mbo_duration,
+                    escalated_jobs: out.escalated_jobs,
+                    ..ControllerRoundStats::default()
                 }
             }
             Phase::Exploitation => {
                 let effective = spec.deadline_s * (1.0 - self.config.safety_margin);
-                exploit_remaining_with(
+                let report = exploit_remaining_with(
                     exec,
                     spec,
                     &mut self.store,
                     spec.jobs as u64,
                     effective,
-                    self.config.exploitation,
+                    ExploitParams {
+                        strategy: self.config.exploitation,
+                        escalation_enabled: self.config.escalation_enabled,
+                        escalation_factor: self.config.escalation_factor,
+                    },
                 );
                 ControllerRoundStats {
                     phase: Some(Phase::Exploitation),
-                    explored: Vec::new(),
-                    mbo_duration: None,
+                    escalated_jobs: report.escalated_jobs,
+                    ..ControllerRoundStats::default()
                 }
             }
         };
+        stats.quarantined = self.store.quarantined_jobs() - quarantined_before;
         self.round_durations.push(exec.elapsed_s() - start);
         stats
     }

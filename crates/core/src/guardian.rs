@@ -15,7 +15,7 @@
 //! the round finishes via exploitation of whatever has been observed
 //! (falling back to `x_max` itself when observations are scarce).
 
-use crate::exploit::{exploit_remaining_with, ExploitStrategy};
+use crate::exploit::{exploit_remaining_with, ExploitParams, ExploitStrategy};
 use crate::{JobExecutor, ObservationStore, RoundSpec};
 use bofl_device::{ConfigIndex, DvfsConfig};
 
@@ -32,6 +32,9 @@ pub struct SafeExplorationOutcome {
     pub guardian_tripped: bool,
     /// Jobs executed during the exploitation tail of the round.
     pub exploited_jobs: u64,
+    /// Jobs of the exploitation tail forced to `x_max` by the mid-round
+    /// guardian escalation (see [`ExploitParams`]).
+    pub escalated_jobs: u64,
 }
 
 /// Parameters of the safe exploration algorithm.
@@ -55,16 +58,24 @@ pub struct SafeExplorationParams {
     pub guardian_enabled: bool,
     /// Planning strategy for the exploitation tail of the round.
     pub exploit_strategy: ExploitStrategy,
+    /// Whether the mid-round guardian escalation runs during the
+    /// exploitation tail (see [`ExploitParams`]).
+    pub escalation_enabled: bool,
+    /// Trip ratio of the mid-round escalation (see [`ExploitParams`]).
+    pub escalation_factor: f64,
 }
 
 impl Default for SafeExplorationParams {
     fn default() -> Self {
+        let exploit = ExploitParams::default();
         SafeExplorationParams {
             tau_s: 5.0,
             safety_margin: 0.01,
             slowdown_factor: 10.0,
             guardian_enabled: true,
-            exploit_strategy: ExploitStrategy::IlpProfile,
+            exploit_strategy: exploit.strategy,
+            escalation_enabled: exploit.escalation_enabled,
+            escalation_factor: exploit.escalation_factor,
         }
     }
 }
@@ -151,15 +162,21 @@ pub fn explore_safely(
 
     // Last-round exploitation (§4.2) / remaining-job exploitation (§4.3).
     let exploited_jobs = jobs_left;
+    let mut escalated_jobs = 0;
     if jobs_left > 0 {
-        exploit_remaining_with(
+        let report = exploit_remaining_with(
             exec,
             spec,
             store,
             jobs_left,
             effective_deadline,
-            params.exploit_strategy,
+            ExploitParams {
+                strategy: params.exploit_strategy,
+                escalation_enabled: params.escalation_enabled,
+                escalation_factor: params.escalation_factor,
+            },
         );
+        escalated_jobs = report.escalated_jobs;
     }
 
     SafeExplorationOutcome {
@@ -167,6 +184,7 @@ pub fn explore_safely(
         consumed,
         guardian_tripped,
         exploited_jobs,
+        escalated_jobs,
     }
 }
 

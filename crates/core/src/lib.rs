@@ -64,7 +64,8 @@ pub mod trace;
 
 pub use controller::{BoflConfig, BoflController};
 pub use executor::JobExecutor;
-pub use observation::{AggregatedObservation, ObservationStore};
+pub use exploit::{ExploitParams, ExploitReport};
+pub use observation::{AggregatedObservation, ObservationStore, QuarantinePolicy};
 pub use runner::{ClientRunner, DeadlineSchedule, RoundReport, RunSummary};
 pub use task::{Phase, RoundSpec};
 
@@ -85,7 +86,9 @@ pub mod prelude {
     pub use crate::baselines::{OracleController, PerformantController};
     pub use crate::controller::{BoflConfig, BoflController};
     pub use crate::executor::JobExecutor;
+    pub use crate::exploit::{ExploitParams, ExploitReport};
     pub use crate::metrics::{improvement_vs, regret_vs};
+    pub use crate::observation::QuarantinePolicy;
     pub use crate::runner::{ClientRunner, DeadlineSchedule, RoundReport, RunSummary};
     pub use crate::task::{PaceController, Phase, RoundSpec};
     pub use bofl_device::{ConfigSpace, Device, DvfsConfig, FreqMHz, FreqTable, JobCost};

@@ -104,6 +104,8 @@ mod tests {
             phase,
             explored: explored.into_iter().map(ConfigIndex).collect(),
             mbo_duration: None,
+            escalated_jobs: 0,
+            quarantined: 0,
         }
     }
 

@@ -1,6 +1,68 @@
 use bofl_device::{ConfigIndex, ConfigSpace, DvfsConfig, JobCost};
 use std::collections::HashMap;
 
+/// When to quarantine a latency sample instead of folding it into the
+/// aggregates that train the GP surrogate.
+///
+/// A transient straggler episode (thermal throttling, a co-located
+/// process, a background daemon) can inflate a job's measured latency far
+/// beyond anything the device model — or the guardian's slowdown bound —
+/// predicts for that configuration. Folding such a sample into the running
+/// mean poisons the Pareto front: the configuration looks permanently
+/// slow, the ILP avoids it, and the energy savings it offered are lost
+/// long after the episode has passed. The quarantine keeps those samples
+/// out of the training set while still counting them, so the caller can
+/// surface "observations rejected" in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuarantinePolicy {
+    /// Whether quarantine runs at all (off = every sample is folded in,
+    /// the pre-quarantine behavior).
+    pub enabled: bool,
+    /// A sample whose latency exceeds `factor ×` the configuration's
+    /// current mean latency is quarantined. Keep this comfortably below
+    /// the guardian's pessimistic slowdown bound (default 10×) but above
+    /// ordinary measurement jitter; transient straggler slowdowns in the
+    /// fleet simulator run 2–4×.
+    pub factor: f64,
+    /// Minimum clean samples a configuration needs before the quarantine
+    /// may judge new arrivals — with fewer, the mean itself is too noisy
+    /// to be a reference.
+    pub min_jobs: u64,
+}
+
+impl QuarantinePolicy {
+    /// Quarantine with the given trip factor and the default warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1`.
+    pub fn with_factor(factor: f64) -> Self {
+        assert!(factor > 1.0, "quarantine factor must exceed 1");
+        QuarantinePolicy {
+            enabled: true,
+            factor,
+            min_jobs: 3,
+        }
+    }
+
+    /// No quarantine: every sample is folded into the aggregates.
+    pub fn disabled() -> Self {
+        QuarantinePolicy {
+            enabled: false,
+            ..QuarantinePolicy::with_factor(3.0)
+        }
+    }
+}
+
+impl Default for QuarantinePolicy {
+    /// Disabled — the store's historical behavior. The BoFL controller
+    /// opts in explicitly.
+    fn default() -> Self {
+        QuarantinePolicy::disabled()
+    }
+}
+
 /// Aggregated measurements for one configuration: job-weighted averages of
 /// latency and energy over every job executed at that configuration.
 ///
@@ -47,22 +109,56 @@ pub struct ObservationStore {
     by_index: HashMap<ConfigIndex, AggregatedObservation>,
     /// Indices in first-observation order (stable reporting).
     order: Vec<ConfigIndex>,
+    quarantine: QuarantinePolicy,
+    quarantined_jobs: u64,
 }
 
 impl ObservationStore {
-    /// Creates an empty store.
+    /// Creates an empty store with quarantine disabled.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty store with the given quarantine policy.
+    pub fn with_quarantine(policy: QuarantinePolicy) -> Self {
+        ObservationStore {
+            quarantine: policy,
+            ..ObservationStore::default()
+        }
+    }
+
+    /// The store's quarantine policy.
+    pub fn quarantine_policy(&self) -> QuarantinePolicy {
+        self.quarantine
+    }
+
+    /// Total latency samples quarantined (counted but excluded from the
+    /// aggregates) since the store was created.
+    pub fn quarantined_jobs(&self) -> u64 {
+        self.quarantined_jobs
+    }
+
     /// Records one executed job. Returns `true` if this was the first job
     /// ever run at `config`.
+    ///
+    /// Under an enabled [`QuarantinePolicy`], a sample whose latency is
+    /// inflated beyond `factor ×` the configuration's established mean is
+    /// quarantined: the sample is counted in [`Self::quarantined_jobs`]
+    /// but never reaches the aggregates (and therefore never reaches the
+    /// GP training set or the exploitation planner).
     pub fn record(&mut self, space: &ConfigSpace, config: DvfsConfig, cost: JobCost) -> bool {
         let index = space
             .index_of(config)
             .expect("observations must be grid points");
         match self.by_index.get_mut(&index) {
             Some(agg) => {
+                if self.quarantine.enabled
+                    && agg.jobs >= self.quarantine.min_jobs
+                    && cost.latency_s > self.quarantine.factor * agg.mean_latency_s()
+                {
+                    self.quarantined_jobs += 1;
+                    return false;
+                }
                 agg.jobs += 1;
                 agg.total_latency_s += cost.latency_s;
                 agg.total_energy_j += cost.energy_j;
@@ -282,6 +378,106 @@ mod tests {
         let order: Vec<DvfsConfig> = store.iter().map(|o| o.config).collect();
         assert_eq!(order, vec![a, b]);
         assert_eq!(store.indices().len(), 2);
+    }
+
+    #[test]
+    fn quarantine_excludes_inflated_samples() {
+        let sp = space();
+        let mut store = ObservationStore::with_quarantine(QuarantinePolicy {
+            enabled: true,
+            factor: 3.0,
+            min_jobs: 3,
+        });
+        let x = cfg(100, 300, 500);
+        // Three clean samples establish the mean (0.2 s).
+        for _ in 0..3 {
+            store.record(
+                &sp,
+                x,
+                JobCost {
+                    latency_s: 0.2,
+                    energy_j: 1.0,
+                },
+            );
+        }
+        // A 5× straggler sample is quarantined, not folded in.
+        store.record(
+            &sp,
+            x,
+            JobCost {
+                latency_s: 1.0,
+                energy_j: 1.0,
+            },
+        );
+        let agg = store.get_config(&sp, x).unwrap();
+        assert_eq!(agg.jobs, 3, "contaminated sample must not be aggregated");
+        assert!((agg.mean_latency_s() - 0.2).abs() < 1e-12);
+        assert_eq!(store.quarantined_jobs(), 1);
+        // A borderline-but-sane sample still lands.
+        store.record(
+            &sp,
+            x,
+            JobCost {
+                latency_s: 0.5,
+                energy_j: 1.0,
+            },
+        );
+        assert_eq!(store.get_config(&sp, x).unwrap().jobs, 4);
+        assert_eq!(store.quarantined_jobs(), 1);
+    }
+
+    #[test]
+    fn quarantine_waits_for_warmup_and_respects_disabled() {
+        let sp = space();
+        let x = cfg(100, 300, 500);
+        // Before `min_jobs` clean samples, nothing is quarantined — the
+        // mean is not yet trustworthy.
+        let mut warming = ObservationStore::with_quarantine(QuarantinePolicy {
+            enabled: true,
+            factor: 2.0,
+            min_jobs: 5,
+        });
+        for i in 0..4 {
+            warming.record(
+                &sp,
+                x,
+                JobCost {
+                    latency_s: if i == 3 { 10.0 } else { 0.1 },
+                    energy_j: 1.0,
+                },
+            );
+        }
+        assert_eq!(warming.quarantined_jobs(), 0);
+        assert_eq!(warming.get_config(&sp, x).unwrap().jobs, 4);
+        // Disabled policy folds everything in (the historical behavior).
+        let mut off = ObservationStore::new();
+        assert!(!off.quarantine_policy().enabled);
+        off.record(
+            &sp,
+            x,
+            JobCost {
+                latency_s: 0.1,
+                energy_j: 1.0,
+            },
+        );
+        for _ in 0..5 {
+            off.record(
+                &sp,
+                x,
+                JobCost {
+                    latency_s: 100.0,
+                    energy_j: 1.0,
+                },
+            );
+        }
+        assert_eq!(off.quarantined_jobs(), 0);
+        assert_eq!(off.get_config(&sp, x).unwrap().jobs, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "quarantine factor must exceed 1")]
+    fn quarantine_rejects_bad_factor() {
+        let _ = QuarantinePolicy::with_factor(1.0);
     }
 
     #[test]

@@ -101,6 +101,10 @@ pub struct RoundReport {
     pub explored: Vec<ConfigIndex>,
     /// MBO computation time charged to the reporting window, if any.
     pub mbo_duration: Option<Duration>,
+    /// Jobs forced to `x_max` by the mid-round guardian escalation.
+    pub escalated_jobs: u64,
+    /// Latency samples quarantined (kept out of the GP training set).
+    pub quarantined: u64,
 }
 
 /// Aggregate outcome of a full multi-round run.
@@ -264,6 +268,8 @@ impl ClientRunner {
                 phase: stats.phase,
                 explored: stats.explored,
                 mbo_duration: stats.mbo_duration,
+                escalated_jobs: stats.escalated_jobs,
+                quarantined: stats.quarantined,
             });
         }
 

@@ -69,6 +69,12 @@ pub struct ControllerRoundStats {
     /// (runs in the configuration/reporting window, not on the round
     /// clock — paper §4.3).
     pub mbo_duration: Option<Duration>,
+    /// Jobs forced to `x_max` by the mid-round guardian escalation (the
+    /// reactive fault-recovery path; zero when nothing went wrong).
+    pub escalated_jobs: u64,
+    /// Latency samples quarantined this round — counted but excluded from
+    /// the observation aggregates feeding the GP surrogate.
+    pub quarantined: u64,
 }
 
 /// A local training pace controller: the interface BoFL, Performant and

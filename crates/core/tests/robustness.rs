@@ -91,6 +91,65 @@ fn bofl_survives_latency_spikes() {
     );
 }
 
+/// A sustained mid-round slowdown (every job throttled, not isolated
+/// spikes): the guardian's escalation must trip, divert the rest of the
+/// round to `x_max`, quarantine the contaminated latency samples, and —
+/// because it stopped following the doomed plan — finish the round
+/// strictly sooner than a controller without escalation.
+#[test]
+fn sustained_throttling_trips_escalation_and_quarantine() {
+    use bofl::runner::SimExecutor;
+    use bofl::task::PaceController;
+
+    let device = Device::jetson_agx();
+    let task = FlTask::preset(TaskKind::Cifar10Vit, Testbed::JetsonAgx);
+    let t_min = device.round_latency_at_max(&task);
+    let jobs = task.jobs_per_round();
+
+    let run = |escalation: bool| {
+        let config = BoflConfig {
+            escalation_enabled: escalation,
+            ..BoflConfig::fast_test()
+        };
+        let mut ctrl = BoflController::new(config);
+        // Identical healthy warm-up: same seeds, same observations.
+        let mut last_phase = None;
+        for round in 0..12 {
+            let mut exec = SimExecutor::new(&device, &task, 4000 + round as u64);
+            let spec = bofl::RoundSpec::new(round, jobs, t_min * 2.5);
+            last_phase = ctrl.run_round(&spec, &mut exec).phase;
+        }
+        assert_eq!(
+            last_phase,
+            Some(Phase::Exploitation),
+            "warm-up must reach exploitation for the test to be meaningful"
+        );
+        // The throttled round: every job slowed 3.5×.
+        let inner = SimExecutor::new(&device, &task, 4100);
+        let mut exec = SpikyExecutor::new(inner, 1.0, 3.5, 4200);
+        let spec = bofl::RoundSpec::new(12, jobs, t_min * 4.0);
+        let stats = ctrl.run_round(&spec, &mut exec);
+        (stats, exec.elapsed_s())
+    };
+
+    let (escalated, dur_esc) = run(true);
+    let (flat, dur_flat) = run(false);
+
+    assert!(
+        escalated.escalated_jobs > 0,
+        "escalation never tripped under 3.5× sustained throttling"
+    );
+    assert!(
+        escalated.quarantined > 0,
+        "3.5×-inflated samples must be quarantined at factor 3"
+    );
+    assert_eq!(flat.escalated_jobs, 0, "disabled escalation must not fire");
+    assert!(
+        dur_esc < dur_flat,
+        "escalating to x_max must shorten the throttled round: {dur_esc:.2}s vs {dur_flat:.2}s"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

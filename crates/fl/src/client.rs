@@ -32,6 +32,7 @@ pub struct TrainingExecutor<'a> {
     round_start_s: f64,
     energy_j: f64,
     last_loss: f64,
+    slowdown: f64,
 }
 
 impl std::fmt::Debug for TrainingExecutor<'_> {
@@ -70,7 +71,24 @@ impl<'a> TrainingExecutor<'a> {
             round_start_s: 0.0,
             energy_j: 0.0,
             last_loss: f64::NAN,
+            slowdown: 1.0,
         }
+    }
+
+    /// Inflates every job's latency by `slowdown` (≥ 1), modeling a
+    /// transient fault such as thermal throttling or a contended
+    /// accelerator. The pace controller sees the inflated latencies in its
+    /// observations — which is the point: mid-round recovery (guardian
+    /// escalation, observation quarantine) must trigger off what the
+    /// controller can actually measure. Energy is left unscaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown < 1`.
+    pub fn with_slowdown(mut self, slowdown: f64) -> Self {
+        assert!(slowdown >= 1.0, "slowdown must be at least 1");
+        self.slowdown = slowdown;
+        self
     }
 
     /// Energy consumed so far this round, joules.
@@ -114,7 +132,8 @@ impl JobExecutor for TrainingExecutor<'_> {
             .apply(x)
             .expect("controllers must request grid configurations");
         self.clock.advance(transition);
-        let cost = self.device.run_job(self.task, x, &mut self.rng);
+        let mut cost = self.device.run_job(self.task, x, &mut self.rng);
+        cost.latency_s *= self.slowdown;
         self.clock.advance(cost.latency_s);
         self.energy_j += cost.energy_j;
         cost
@@ -143,6 +162,12 @@ pub struct ClientRoundResult {
     /// The controller phase this round ran in (`None` for phase-less
     /// baselines like Performant/Oracle).
     pub phase: Option<Phase>,
+    /// Jobs the deadline guardian escalated to `x_max` mid-round after
+    /// detecting an overrun in progress.
+    pub escalated_jobs: u64,
+    /// Latency observations the controller quarantined as contaminated
+    /// (excluded from its surrogate-model training set).
+    pub quarantined: u64,
 }
 
 /// One federated client: local data, a simulated device, and a pluggable
@@ -246,6 +271,20 @@ impl FlClient {
         global: &[f64],
         deadline_s: f64,
     ) -> ClientRoundResult {
+        self.train_round_paced(round, global, deadline_s, 1.0)
+    }
+
+    /// [`FlClient::train_round`] with a transient per-job latency
+    /// `slowdown` (≥ 1, `1.0` = healthy) injected into the executor, so
+    /// engine-level fault plans perturb training *while the controller is
+    /// watching* rather than after the fact.
+    pub fn train_round_paced(
+        &mut self,
+        round: usize,
+        global: &[f64],
+        deadline_s: f64,
+        slowdown: f64,
+    ) -> ClientRoundResult {
         self.model.set_parameters(global);
         let spec = RoundSpec::new(round, self.task.jobs_per_round(), deadline_s);
 
@@ -257,7 +296,8 @@ impl FlClient {
             &self.data,
             self.learning_rate,
             seed,
-        );
+        )
+        .with_slowdown(slowdown);
         let stats = self.controller.run_round(&spec, &mut exec);
         let duration_s = exec.elapsed_s();
         let energy_j = exec.round_energy_j();
@@ -272,6 +312,8 @@ impl FlClient {
             duration_s,
             last_loss,
             phase: stats.phase,
+            escalated_jobs: stats.escalated_jobs,
+            quarantined: stats.quarantined,
         }
     }
 
@@ -293,6 +335,22 @@ impl FlClient {
         global: &[f64],
         reporting: ReportingDeadline,
     ) -> ClientRoundResult {
+        self.train_round_reporting_paced(round, global, reporting, 1.0)
+    }
+
+    /// [`FlClient::train_round_reporting`] with a transient per-job
+    /// latency `slowdown` (≥ 1), mirroring [`FlClient::train_round_paced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no uplink was attached via [`FlClient::with_uplink`].
+    pub fn train_round_reporting_paced(
+        &mut self,
+        round: usize,
+        global: &[f64],
+        reporting: ReportingDeadline,
+        slowdown: f64,
+    ) -> ClientRoundResult {
         let network = self
             .uplink
             .expect("train_round_reporting requires with_uplink");
@@ -313,7 +371,7 @@ impl FlClient {
         let training_deadline =
             reporting.training_deadline_s(&self.bandwidth, upload_bytes, min_training);
 
-        let mut result = self.train_round(round, global, training_deadline);
+        let mut result = self.train_round_paced(round, global, training_deadline, slowdown);
 
         // Simulate the upload and learn from it.
         let (upload_s, _) = network.transfer(upload_bytes, &mut rng);

@@ -55,6 +55,16 @@ pub struct ClientJob {
     /// independent of engine scheduling. A dropped client still trains
     /// (and spends energy) — its update is simply never received.
     pub dropped: bool,
+    /// Transient per-job latency inflation applied *inside* the client's
+    /// training executor (`1.0` = healthy). Injecting the slowdown at the
+    /// job level — rather than stretching the finished round's duration —
+    /// means the pace controller observes it mid-round and its recovery
+    /// machinery (guardian escalation, observation quarantine) can react,
+    /// exactly as it would on a thermally-throttled physical board.
+    /// Energy is not scaled: a throttled board draws less power for
+    /// longer, and modeling that cancellation as neutral keeps the energy
+    /// ledger comparable across fault plans.
+    pub slowdown: f64,
 }
 
 /// What actually happened when a job ran, including any engine-level
@@ -70,8 +80,12 @@ pub struct ClientOutcome {
     /// Transient slowdown multiplier applied to the round's duration
     /// (`1.0` = none; `> 1.0` = the client ran as a straggler).
     pub straggler_factor: f64,
-    /// Whether the model upload failed after training completed.
+    /// Whether the model upload failed after training completed (after
+    /// all permitted attempts).
     pub upload_failed: bool,
+    /// Upload attempts made (`1` = first try succeeded or no retry policy
+    /// was active; `> 1` = the retry machinery fired).
+    pub upload_attempts: u32,
 }
 
 impl ClientOutcome {
@@ -86,6 +100,12 @@ impl ClientOutcome {
     pub fn missed_deadline(&self) -> bool {
         !self.result.deadline_met
     }
+
+    /// Whether a retried upload ultimately got through — a round the
+    /// recovery layer saved from being wasted.
+    pub fn recovered_upload(&self) -> bool {
+        self.upload_attempts > 1 && !self.upload_failed
+    }
 }
 
 /// Executes one job against one client. This is the single shared
@@ -93,17 +113,20 @@ impl ClientOutcome {
 /// parallel, must call it so their traces are comparable bit-for-bit.
 pub fn run_client_job(client: &mut FlClient, global: &[f64], job: &ClientJob) -> ClientOutcome {
     let result = match job.deadline {
-        RoundDeadline::Training(deadline_s) => client.train_round(job.round, global, deadline_s),
+        RoundDeadline::Training(deadline_s) => {
+            client.train_round_paced(job.round, global, deadline_s, job.slowdown)
+        }
         RoundDeadline::Reporting(reporting) => {
-            client.train_round_reporting(job.round, global, reporting)
+            client.train_round_reporting_paced(job.round, global, reporting, job.slowdown)
         }
     };
     ClientOutcome {
         client_id: job.client_id,
         result,
         dropped: job.dropped,
-        straggler_factor: 1.0,
+        straggler_factor: job.slowdown,
         upload_failed: false,
+        upload_attempts: 1,
     }
 }
 
@@ -202,6 +225,7 @@ mod tests {
                 round: 0,
                 deadline: RoundDeadline::Training(deadline),
                 dropped: false,
+                slowdown: 1.0,
             })
             .collect();
         let mut engine = SequentialEngine::new();
@@ -224,6 +248,7 @@ mod tests {
             round: 0,
             deadline: RoundDeadline::Training(deadline),
             dropped: true,
+            slowdown: 1.0,
         }];
         let outcomes = SequentialEngine::new().run_batch(&mut clients, &params, &jobs);
         assert!(outcomes[0].result.energy_j > 0.0, "dropout wastes energy");

@@ -37,7 +37,7 @@
 //!     ..FederationConfig::default()
 //! };
 //! let mut sim = Federation::builder(config)
-//!     .controller_factory(|| Box::new(bofl::BoflController::new(BoflConfig::fast_test())))
+//!     .controller_factory(|_id| Box::new(bofl::BoflController::new(BoflConfig::fast_test())))
 //!     .build();
 //! let history = sim.run();
 //! assert_eq!(history.rounds.len(), 3);
@@ -59,10 +59,10 @@ pub use client::{FlClient, TrainingExecutor};
 pub use data::{FederatedData, SyntheticDataset};
 pub use engine::{ClientJob, ClientOutcome, RoundDeadline, RoundEngine, SequentialEngine};
 pub use model::{Minibatch, MlpModel, SoftmaxModel, TrainableModel};
-pub use network::{BandwidthEstimator, NetworkModel, ReportingDeadline};
+pub use network::{BandwidthEstimator, NetworkModel, ReportingDeadline, RetryPolicy};
 pub use server::{
-    DeadlinePolicy, Federation, FederationBuilder, FederationConfig, RoundRecord, RunHistory,
-    SelectionPolicy,
+    AggregationPolicy, DeadlinePolicy, Federation, FederationBuilder, FederationConfig,
+    RoundRecord, RunHistory, SelectionPolicy,
 };
 
 /// Convenient glob-import surface.
@@ -73,9 +73,9 @@ pub mod prelude {
         ClientJob, ClientOutcome, RoundDeadline, RoundEngine, SequentialEngine,
     };
     pub use crate::model::{MlpModel, SoftmaxModel, TrainableModel};
-    pub use crate::network::{BandwidthEstimator, NetworkModel, ReportingDeadline};
+    pub use crate::network::{BandwidthEstimator, NetworkModel, ReportingDeadline, RetryPolicy};
     pub use crate::server::{
-        DeadlinePolicy, Federation, FederationBuilder, FederationConfig, RoundRecord, RunHistory,
-        SelectionPolicy,
+        AggregationPolicy, DeadlinePolicy, Federation, FederationBuilder, FederationConfig,
+        RoundRecord, RunHistory, SelectionPolicy,
     };
 }

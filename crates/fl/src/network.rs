@@ -166,6 +166,85 @@ impl Default for BandwidthEstimator {
     }
 }
 
+/// Bounded deterministic retry for lost model uploads.
+///
+/// A transient upload failure (cellular handoff, a dropped TCP stream)
+/// does not have to waste the whole round: while reporting budget remains,
+/// the client backs off exponentially and tries again. The backoff is
+/// jittered — synchronized retries from many clients would just collide
+/// again — but the jitter is drawn from a caller-supplied seed, so the
+/// exact same retry schedule replays on any thread or worker count (the
+/// fleet engine feeds a per-`(client, round)` seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RetryPolicy {
+    /// Total upload attempts allowed, including the first (`1` = never
+    /// retry, the legacy behavior).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds.
+    pub base_backoff_s: f64,
+    /// Multiplier applied to the backoff after every failed retry.
+    pub backoff_multiplier: f64,
+    /// Fraction of each backoff randomized symmetrically around its
+    /// nominal value (`0.25` → ±25%).
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: a failed upload is simply lost (legacy behavior).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_s: 0.0,
+            backoff_multiplier: 1.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// The recovery default: up to 3 attempts, 0.5 s initial backoff
+    /// doubling each time, ±25% jitter.
+    pub fn recovery() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_s: 0.5,
+            backoff_multiplier: 2.0,
+            jitter: 0.25,
+        }
+    }
+
+    /// Whether this policy ever retries.
+    pub fn is_none(&self) -> bool {
+        self.max_attempts <= 1
+    }
+
+    /// The backoff before retry number `retry` (1-based), jittered
+    /// deterministically from `seed`. Pure: the same arguments always
+    /// yield the same delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retry == 0` (there is no backoff before the first
+    /// attempt).
+    pub fn backoff_s(&self, retry: u32, seed: u64) -> f64 {
+        assert!(retry > 0, "backoff precedes a retry, not the first attempt");
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let nominal = self.base_backoff_s * self.backoff_multiplier.powi(retry as i32 - 1);
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (retry as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let u: f64 = rng.gen::<f64>();
+        nominal * (1.0 + self.jitter * (2.0 * u - 1.0))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// [`RetryPolicy::none`] — retrying is opt-in so existing traces are
+    /// untouched.
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
 /// A server-assigned *reporting* deadline plus the conversion to the
 /// training deadline BoFL consumes (paper footnote 3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -314,5 +393,26 @@ mod tests {
     #[should_panic(expected = "reporting deadline must be positive")]
     fn reporting_deadline_validates() {
         let _ = ReportingDeadline::new(0.0);
+    }
+
+    #[test]
+    fn retry_backoff_grows_and_is_deterministic() {
+        let p = RetryPolicy::recovery();
+        assert!(!p.is_none());
+        assert!(RetryPolicy::none().is_none());
+        let b1 = p.backoff_s(1, 42);
+        let b2 = p.backoff_s(2, 42);
+        // Jitter is bounded by ±25%, so doubling dominates it.
+        assert!(b2 > b1, "backoff must grow: {b1} -> {b2}");
+        assert!((0.375..=0.625).contains(&b1), "jittered base {b1}");
+        // Pure in (retry, seed); different seeds jitter differently.
+        assert_eq!(b1, p.backoff_s(1, 42));
+        assert_ne!(b1, p.backoff_s(1, 43));
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff precedes a retry")]
+    fn retry_backoff_rejects_attempt_zero() {
+        let _ = RetryPolicy::recovery().backoff_s(0, 1);
     }
 }

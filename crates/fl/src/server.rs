@@ -41,6 +41,71 @@ pub enum DeadlinePolicy {
     Reporting(NetworkModel),
 }
 
+/// Over-selection and quorum rules for closing a round (the recovery
+/// half of the fault loop: selection-side redundancy plus an explicit
+/// success target, instead of silently freezing the global model when a
+/// round yields nothing).
+///
+/// With the default (no over-selection, no quorum) the federation behaves
+/// exactly as the vanilla FedAvg server did. With a recovery policy the
+/// server selects `K · (1 + over_select_fraction)` clients so that
+/// stragglers and dropouts still leave roughly `K` usable updates, and
+/// records a *quorum shortfall* whenever fewer than
+/// `ceil(K · quorum_fraction)` updates arrive. Every update that does
+/// arrive is always aggregated — the quorum marks rounds the operator
+/// should distrust, it never discards work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregationPolicy {
+    /// Fraction of `clients_per_round` whose updates must arrive for the
+    /// round to count as healthy (`0.0` disables the quorum check).
+    pub quorum_fraction: f64,
+    /// Extra clients to select beyond `clients_per_round`, as a fraction
+    /// (`0.25` selects 25% more, rounded up; `0.0` disables).
+    pub over_select_fraction: f64,
+}
+
+impl AggregationPolicy {
+    /// No over-selection, no quorum — byte-identical to the pre-recovery
+    /// server.
+    pub fn none() -> Self {
+        AggregationPolicy {
+            quorum_fraction: 0.0,
+            over_select_fraction: 0.0,
+        }
+    }
+
+    /// A reasonable recovery posture: select 50% extra clients and expect
+    /// at least half of the nominal cohort to report back.
+    pub fn recovery() -> Self {
+        AggregationPolicy {
+            quorum_fraction: 0.5,
+            over_select_fraction: 0.5,
+        }
+    }
+
+    /// Number of clients to select for a nominal cohort of
+    /// `clients_per_round` (always at least the cohort itself).
+    pub fn selection_target(&self, clients_per_round: usize) -> usize {
+        let extra = (clients_per_round as f64 * self.over_select_fraction).ceil() as usize;
+        clients_per_round + extra
+    }
+
+    /// The quorum: how many aggregated updates the round needs to count
+    /// as healthy (`0` when the quorum check is disabled).
+    pub fn quorum(&self, clients_per_round: usize) -> usize {
+        if self.quorum_fraction <= 0.0 {
+            return 0;
+        }
+        ((clients_per_round as f64 * self.quorum_fraction).ceil() as usize).max(1)
+    }
+}
+
+impl Default for AggregationPolicy {
+    fn default() -> Self {
+        AggregationPolicy::none()
+    }
+}
+
 /// Configuration of a federated simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FederationConfig {
@@ -67,6 +132,13 @@ pub struct FederationConfig {
     pub deadline_policy: DeadlinePolicy,
     /// How participants are selected each round.
     pub selection_policy: SelectionPolicy,
+    /// Over-selection and quorum rules (defaults to
+    /// [`AggregationPolicy::none`], the vanilla server).
+    pub aggregation: AggregationPolicy,
+    /// Server-side multiplier on the nominal upload duration when
+    /// converting a training deadline into a reporting deadline — slack
+    /// for slow links. The pre-recovery server hardcoded `1.5`.
+    pub upload_slack_factor: f64,
     /// Master seed.
     pub seed: u64,
 }
@@ -85,6 +157,8 @@ impl Default for FederationConfig {
             dropout_probability: 0.0,
             deadline_policy: DeadlinePolicy::Training,
             selection_policy: SelectionPolicy::Uniform,
+            aggregation: AggregationPolicy::none(),
+            upload_slack_factor: 1.5,
             seed: 42,
         }
     }
@@ -102,6 +176,13 @@ pub struct RoundRecord {
     pub aggregated: Vec<usize>,
     /// The training deadline assigned by the server, seconds.
     pub deadline_s: f64,
+    /// The quorum the aggregation policy demanded (`0` = no quorum).
+    pub quorum: usize,
+    /// How many updates short of the quorum the round fell (`0` when the
+    /// quorum was met or disabled). A non-zero shortfall with a non-empty
+    /// `aggregated` set means the round progressed but under-sampled the
+    /// cohort; a shortfall with an empty set is a wasted round.
+    pub quorum_shortfall: usize,
     /// Total client energy this round, joules.
     pub energy_j: f64,
     /// Global-model accuracy on the held-out test set after aggregation.
@@ -172,7 +253,9 @@ impl Federation {
         FederationBuilder {
             config,
             device_factory: Box::new(|_| Device::jetson_agx()),
-            controller_factory: Box::new(|| Box::new(bofl::baselines::PerformantController::new())),
+            controller_factory: Box::new(
+                |_| Box::new(bofl::baselines::PerformantController::new()),
+            ),
             task: None,
             engine: Box::new(SequentialEngine::new()),
         }
@@ -224,7 +307,14 @@ impl Federation {
                 ids = keyed.into_iter().map(|(_, id)| id).collect();
             }
         }
-        ids.truncate(self.config.clients_per_round.min(self.clients.len()));
+        // Over-selection: with a recovery policy the server invites extra
+        // clients so stragglers and upload failures still leave a full
+        // cohort of usable updates.
+        let target = self
+            .config
+            .aggregation
+            .selection_target(self.config.clients_per_round);
+        ids.truncate(target.min(self.clients.len()));
         ids.sort_unstable();
 
         // 2. Deadline assignment: feasible for the slowest selected
@@ -248,7 +338,8 @@ impl Federation {
             DeadlinePolicy::Reporting(network) => {
                 // Reporting window = training window + nominal upload
                 // budget for this task's model.
-                let upload = network.nominal_duration_s(self.model_bytes) * 1.5; // server-side slack for slow links
+                let upload =
+                    network.nominal_duration_s(self.model_bytes) * self.config.upload_slack_factor;
                 RoundDeadline::Reporting(ReportingDeadline::new(deadline_s + upload))
             }
         };
@@ -259,6 +350,7 @@ impl Federation {
                 round,
                 deadline,
                 dropped: self.rng.gen::<f64>() < self.config.dropout_probability,
+                slowdown: 1.0,
             })
             .collect();
 
@@ -302,11 +394,23 @@ impl Federation {
             self.global.set_parameters(&avg);
         }
 
+        // Quorum accounting: every arrived update was aggregated above —
+        // the quorum only *labels* the round. A shortfall is the signal a
+        // fleet operator watches instead of discovering, rounds later,
+        // that the global model quietly stopped moving.
+        let quorum = self
+            .config
+            .aggregation
+            .quorum(self.config.clients_per_round);
+        let quorum_shortfall = quorum.saturating_sub(aggregated.len());
+
         let record = RoundRecord {
             round,
             selected: ids,
             aggregated,
             deadline_s,
+            quorum,
+            quorum_shortfall,
             energy_j,
             test_accuracy: self
                 .global
@@ -344,7 +448,7 @@ impl Federation {
 pub struct FederationBuilder {
     config: FederationConfig,
     device_factory: Box<dyn Fn(usize) -> Device>,
-    controller_factory: Box<dyn Fn() -> Box<dyn PaceController>>,
+    controller_factory: Box<dyn Fn(usize) -> Box<dyn PaceController>>,
     task: Option<FlTask>,
     engine: Box<dyn RoundEngine>,
 }
@@ -365,9 +469,14 @@ impl FederationBuilder {
         self
     }
 
-    /// Sets the pace-controller factory (one controller per client).
-    /// Defaults to the Performant baseline.
-    pub fn controller_factory(mut self, f: impl Fn() -> Box<dyn PaceController> + 'static) -> Self {
+    /// Sets the pace-controller factory (client id → controller, one per
+    /// client). The id lets heterogeneous fleets hand each client a
+    /// controller tuned to its device — e.g. an oracle built from that
+    /// device's offline profile. Defaults to the Performant baseline.
+    pub fn controller_factory(
+        mut self,
+        f: impl Fn(usize) -> Box<dyn PaceController> + 'static,
+    ) -> Self {
         self.controller_factory = Box::new(f);
         self
     }
@@ -427,7 +536,7 @@ impl FederationBuilder {
                         cfg.classes,
                         cfg.seed ^ 0xC11E,
                     )),
-                    (self.controller_factory)(),
+                    (self.controller_factory)(id),
                     cfg.learning_rate,
                     cfg.seed ^ (id as u64).wrapping_mul(0x51_7C_C1),
                 );

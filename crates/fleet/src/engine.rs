@@ -18,6 +18,7 @@
 use crate::fault::FaultPlan;
 use bofl_fl::client::FlClient;
 use bofl_fl::engine::{run_client_job, ClientJob, ClientOutcome, RoundEngine};
+use bofl_fl::network::RetryPolicy;
 use std::sync::{mpsc, Mutex};
 use std::thread;
 
@@ -27,6 +28,7 @@ use std::thread;
 pub struct FleetEngine {
     workers: usize,
     faults: FaultPlan,
+    retry: RetryPolicy,
     label: String,
 }
 
@@ -41,6 +43,7 @@ impl FleetEngine {
         FleetEngine {
             workers,
             faults: FaultPlan::none(),
+            retry: RetryPolicy::none(),
             label: format!("fleet({workers} workers)"),
         }
     }
@@ -53,6 +56,7 @@ impl FleetEngine {
         FleetEngine {
             workers: 1,
             faults: FaultPlan::none(),
+            retry: RetryPolicy::none(),
             label: "fleet(sequential)".to_string(),
         }
     }
@@ -61,6 +65,14 @@ impl FleetEngine {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches an upload retry policy (defaults to
+    /// [`RetryPolicy::none`], single-attempt uploads).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -74,19 +86,51 @@ impl FleetEngine {
         &self.faults
     }
 
+    /// The engine's upload retry policy.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// Runs one job and applies this engine's fault draws to the result.
     fn run_faulted(&self, client: &mut FlClient, global: &[f64], job: &ClientJob) -> ClientOutcome {
         let draw = self.faults.draw(job.round, job.client_id);
-        let mut out = run_client_job(client, global, job);
-        if draw.straggler_factor > 1.0 {
-            // A transient slowdown stretches the whole round; whether the
-            // deadline still holds is re-judged against the job's limit.
-            out.result.duration_s *= draw.straggler_factor;
-            out.result.deadline_met = out.result.duration_s <= job.deadline.limit_s() + 1e-9;
-            out.straggler_factor = draw.straggler_factor;
-        }
+
+        // A straggler draw inflates every job's latency *inside* the
+        // client's executor rather than stretching the finished round:
+        // the pace controller observes the slowdown as it happens, so its
+        // recovery machinery (guardian escalation, quarantine) gets the
+        // chance to rescue the deadline — and `deadline_met` is judged on
+        // whatever duration actually resulted.
+        let mut faulted = *job;
+        faulted.slowdown = job.slowdown * draw.straggler_factor;
+        let mut out = run_client_job(client, global, &faulted);
+
         out.dropped = out.dropped || draw.dropped;
         out.upload_failed = draw.upload_failed;
+
+        // Upload retry: while the reporting budget (time left before the
+        // round's limit) still admits a backoff, re-attempt the upload.
+        // Every quantity here is pure in (round, client, attempt), so the
+        // trace stays byte-identical at any worker count.
+        if out.upload_failed && !self.retry.is_none() && !out.dropped && out.result.deadline_met {
+            let budget = (job.deadline.limit_s() - out.result.duration_s).max(0.0);
+            let backoff_seed = (job.round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (job.client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            let mut waited_s = 0.0;
+            while out.upload_failed && out.upload_attempts < self.retry.max_attempts {
+                let wait = self.retry.backoff_s(out.upload_attempts, backoff_seed);
+                if waited_s + wait > budget {
+                    break;
+                }
+                waited_s += wait;
+                out.upload_attempts += 1;
+                out.upload_failed = self.faults.upload_attempt_failed(
+                    job.round,
+                    job.client_id,
+                    out.upload_attempts,
+                );
+            }
+        }
         out
     }
 }
@@ -205,6 +249,7 @@ mod tests {
                 round: 0,
                 deadline: RoundDeadline::Training(deadline),
                 dropped: false,
+                slowdown: 1.0,
             })
             .collect()
     }
@@ -253,6 +298,56 @@ mod tests {
         let outcomes = engine.run_batch(&mut clients, &params, &jobs);
         assert!(outcomes.iter().all(|o| o.straggler_factor >= 3.0));
         assert!(outcomes.iter().all(|o| o.missed_deadline()));
+        assert!(outcomes.iter().all(|o| !o.aggregatable()));
+    }
+
+    #[test]
+    fn retries_recover_some_uploads_and_stay_deterministic() {
+        let params = SoftmaxModel::new(6, 3, 77).parameters();
+        let faults = FaultPlan::new(13).with_upload_failures(0.6);
+        let jobs = jobs_for(&pool(12));
+        let run = |workers: usize, retry: RetryPolicy| {
+            let mut clients = pool(12);
+            let mut engine = FleetEngine::new(workers)
+                .with_faults(faults)
+                .with_retry(retry);
+            engine.run_batch(&mut clients, &params, &jobs)
+        };
+        let no_retry = run(1, RetryPolicy::none());
+        let with_retry = run(1, RetryPolicy::recovery());
+        // Retries never change which first attempts fail…
+        for (a, b) in no_retry.iter().zip(&with_retry) {
+            assert_eq!(a.upload_failed, b.upload_attempts > 1 || b.upload_failed);
+        }
+        // …and at p = 0.6 with 3 attempts, some upload must be recovered.
+        assert!(with_retry.iter().any(|o| o.recovered_upload()));
+        let recovered: Vec<usize> = with_retry
+            .iter()
+            .filter(|o| o.recovered_upload())
+            .map(|o| o.client_id)
+            .collect();
+        assert!(recovered
+            .iter()
+            .all(|&id| no_retry[id].upload_failed && !with_retry[id].upload_failed));
+        // The whole trace, retries included, is worker-count independent.
+        let parallel = run(8, RetryPolicy::recovery());
+        assert_eq!(with_retry, parallel);
+    }
+
+    #[test]
+    fn dropped_or_late_clients_never_retry() {
+        let params = SoftmaxModel::new(6, 3, 77).parameters();
+        let faults = FaultPlan::new(13)
+            .with_dropout(1.0)
+            .with_upload_failures(1.0);
+        let mut clients = pool(4);
+        let jobs = jobs_for(&clients);
+        let mut engine = FleetEngine::new(2)
+            .with_faults(faults)
+            .with_retry(RetryPolicy::recovery());
+        let outcomes = engine.run_batch(&mut clients, &params, &jobs);
+        // A vanished client has nobody left to retry the upload.
+        assert!(outcomes.iter().all(|o| o.upload_attempts == 1));
         assert!(outcomes.iter().all(|o| !o.aggregatable()));
     }
 

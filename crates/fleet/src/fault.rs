@@ -138,6 +138,29 @@ impl FaultPlan {
             upload_failed,
         }
     }
+
+    /// Whether upload `attempt` (1-based) for this `(round, client)` pair
+    /// fails. Attempt 1 is exactly [`FaultPlan::draw`]'s `upload_failed`
+    /// — the retry machinery extends the original fault stream instead of
+    /// re-rolling it, so enabling retries never changes which first
+    /// attempts fail. Later attempts are independent draws at the same
+    /// failure probability, pure in `(round, client, attempt)`.
+    pub fn upload_attempt_failed(&self, round: usize, client_id: usize, attempt: u32) -> bool {
+        assert!(attempt >= 1, "upload attempts are 1-based");
+        if attempt == 1 {
+            return self.draw(round, client_id).upload_failed;
+        }
+        if self.upload_failure_probability == 0.0 {
+            return false;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        rng.gen::<f64>() < self.upload_failure_probability
+    }
 }
 
 impl Default for FaultPlan {
@@ -192,6 +215,37 @@ mod tests {
             let f = plan.draw(0, c).straggler_factor;
             assert!((2.0..=4.0).contains(&f), "factor {f} out of range");
         }
+    }
+
+    #[test]
+    fn upload_attempts_extend_the_fault_stream() {
+        let plan = FaultPlan::new(11).with_upload_failures(0.5);
+        for client in 0..20 {
+            // Attempt 1 must agree with the original draw, so turning on
+            // retries cannot change which first attempts fail.
+            assert_eq!(
+                plan.upload_attempt_failed(0, client, 1),
+                plan.draw(0, client).upload_failed
+            );
+            // Later attempts are pure in (round, client, attempt).
+            assert_eq!(
+                plan.upload_attempt_failed(0, client, 2),
+                plan.upload_attempt_failed(0, client, 2)
+            );
+        }
+        // At p = 0.5 some second attempts must succeed and some fail.
+        let seconds: Vec<bool> = (0..40)
+            .map(|c| plan.upload_attempt_failed(0, c, 2))
+            .collect();
+        assert!(seconds.iter().any(|&f| f) && seconds.iter().any(|&f| !f));
+        // A plan without upload faults never fails a retry either.
+        assert!(!FaultPlan::none().upload_attempt_failed(0, 0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "upload attempts are 1-based")]
+    fn rejects_zeroth_upload_attempt() {
+        let _ = FaultPlan::new(0).upload_attempt_failed(0, 0, 0);
     }
 
     #[test]

@@ -66,4 +66,6 @@ pub mod prelude {
     pub use crate::generator::{ClientProfile, DeviceKind, FleetSpec};
     pub use crate::metrics::{Distribution, FleetMetrics, FleetRoundStats};
     pub use crate::sim::{FleetRunReport, FleetSimulation, FleetSimulationBuilder};
+    pub use bofl_fl::network::RetryPolicy;
+    pub use bofl_fl::server::AggregationPolicy;
 }

@@ -25,13 +25,19 @@ pub struct Distribution {
 }
 
 impl Distribution {
-    /// Summarizes `samples` (need not be sorted).
+    /// Summarizes `samples` (need not be sorted). NaN samples indicate a
+    /// bug upstream — debug builds assert; release builds still produce a
+    /// total order (`f64::total_cmp`) instead of panicking mid-run.
     pub fn of(samples: &[f64]) -> Self {
+        debug_assert!(
+            samples.iter().all(|s| s.is_finite()),
+            "distribution samples must be finite"
+        );
         if samples.is_empty() {
             return Distribution::default();
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(f64::total_cmp);
         let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Distribution {
             count: sorted.len(),
@@ -75,6 +81,20 @@ pub struct FleetRoundStats {
     pub upload_failures: usize,
     /// Clients that ran with a straggler slowdown (factor > 1).
     pub stragglers: usize,
+    /// The aggregation policy's quorum for this round (`0` = disabled).
+    pub quorum: usize,
+    /// Updates short of the quorum (`0` = met or disabled).
+    pub quorum_shortfall: usize,
+    /// Upload retries attempted beyond each client's first try.
+    pub upload_retries: usize,
+    /// Uploads that failed first but got through on a retry.
+    pub recovered_uploads: usize,
+    /// Jobs the clients' deadline guardians escalated to `x_max`
+    /// mid-round.
+    pub escalated_jobs: u64,
+    /// Latency observations the clients' controllers quarantined as
+    /// contaminated.
+    pub quarantined: u64,
     /// Clients per controller phase:
     /// `[none, random exploration, pareto construction, exploitation]`.
     pub phase_counts: [usize; 4],
@@ -113,6 +133,15 @@ impl FleetRoundStats {
             dropouts: outcomes.iter().filter(|o| o.dropped).count(),
             upload_failures: outcomes.iter().filter(|o| o.upload_failed).count(),
             stragglers: outcomes.iter().filter(|o| o.straggler_factor > 1.0).count(),
+            quorum: record.quorum,
+            quorum_shortfall: record.quorum_shortfall,
+            upload_retries: outcomes
+                .iter()
+                .map(|o| o.upload_attempts.saturating_sub(1) as usize)
+                .sum(),
+            recovered_uploads: outcomes.iter().filter(|o| o.recovered_upload()).count(),
+            escalated_jobs: outcomes.iter().map(|o| o.result.escalated_jobs).sum(),
+            quarantined: outcomes.iter().map(|o| o.result.quarantined).sum(),
             phase_counts,
             test_accuracy: record.test_accuracy,
         }
@@ -160,10 +189,44 @@ impl FleetMetrics {
             / self.rounds.len() as f64
     }
 
+    /// Rounds that produced zero aggregated updates — every joule spent
+    /// for no global-model progress (the failure mode the recovery layer
+    /// exists to prevent).
+    pub fn wasted_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.aggregated == 0).count()
+    }
+
+    /// Mean aggregated updates per recorded round.
+    pub fn mean_aggregated_per_round(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.aggregated).sum::<usize>() as f64 / self.rounds.len() as f64
+    }
+
+    /// Rounds that fell short of their aggregation quorum.
+    pub fn quorum_shortfall_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.quorum_shortfall > 0)
+            .count()
+    }
+
+    /// Total uploads recovered by retries across the run.
+    pub fn recovered_uploads(&self) -> usize {
+        self.rounds.iter().map(|r| r.recovered_uploads).sum()
+    }
+
+    /// Total jobs escalated to `x_max` by mid-round guardians.
+    pub fn escalated_jobs(&self) -> u64 {
+        self.rounds.iter().map(|r| r.escalated_jobs).sum()
+    }
+
     /// The CSV header this aggregator emits.
     pub const CSV_HEADER: &'static str = "round,selected,aggregated,deadline_s,\
 energy_total_j,energy_mean_j,energy_p95_j,latency_mean_s,latency_p95_s,latency_max_s,\
 miss_rate,dropouts,upload_failures,stragglers,\
+quorum,quorum_shortfall,upload_retries,recovered_uploads,escalated_jobs,quarantined,\
 phase_none,phase_random,phase_pareto,phase_exploit,test_accuracy";
 
     /// Renders all recorded rounds as CSV. Formatting is fixed-precision,
@@ -174,7 +237,7 @@ phase_none,phase_random,phase_pareto,phase_exploit,test_accuracy";
         out.push('\n');
         for r in &self.rounds {
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{:.4}\n",
+                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4}\n",
                 r.round,
                 r.selected,
                 r.aggregated,
@@ -189,6 +252,12 @@ phase_none,phase_random,phase_pareto,phase_exploit,test_accuracy";
                 r.dropouts,
                 r.upload_failures,
                 r.stragglers,
+                r.quorum,
+                r.quorum_shortfall,
+                r.upload_retries,
+                r.recovered_uploads,
+                r.escalated_jobs,
+                r.quarantined,
                 r.phase_counts[0],
                 r.phase_counts[1],
                 r.phase_counts[2],
@@ -228,10 +297,13 @@ mod tests {
                 duration_s: duration,
                 last_loss: 0.5,
                 phase: Some(Phase::Exploitation),
+                escalated_jobs: 0,
+                quarantined: 0,
             },
             dropped: false,
             straggler_factor: 1.0,
             upload_failed: false,
+            upload_attempts: 1,
         }
     }
 
@@ -241,6 +313,8 @@ mod tests {
             selected: vec![0, 1, 2],
             aggregated: vec![0, 1],
             deadline_s: 10.0,
+            quorum: 0,
+            quorum_shortfall: 0,
             energy_j: 60.0,
             test_accuracy: 0.8,
             test_loss: 0.4,
@@ -272,6 +346,49 @@ mod tests {
         assert!((s.deadline_miss_rate - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.phase_counts, [0, 0, 0, 3]);
         assert_eq!(s.stragglers, 0);
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert only fires in debug builds"
+    )]
+    #[should_panic(expected = "distribution samples must be finite")]
+    fn distribution_rejects_nan_in_debug() {
+        let _ = Distribution::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn recovery_counters_surface_in_stats_and_csv() {
+        let mut saved = outcome(0, 10.0, 5.0, true);
+        saved.upload_attempts = 3; // failed twice, third attempt delivered
+        let mut lost = outcome(1, 20.0, 6.0, true);
+        lost.upload_failed = true;
+        lost.upload_attempts = 2;
+        let mut escalated = outcome(2, 30.0, 12.0, false);
+        escalated.result.escalated_jobs = 4;
+        escalated.result.quarantined = 1;
+        let mut rec = record(0);
+        rec.quorum = 3;
+        rec.quorum_shortfall = 1;
+        let s = FleetRoundStats::from_round(&rec, &[saved, lost, escalated]);
+        assert_eq!(s.upload_retries, 3);
+        assert_eq!(s.recovered_uploads, 1);
+        assert_eq!(s.quorum, 3);
+        assert_eq!(s.quorum_shortfall, 1);
+        assert_eq!(s.escalated_jobs, 4);
+        assert_eq!(s.quarantined, 1);
+        let mut m = FleetMetrics::new();
+        m.rounds.push(s);
+        assert_eq!(m.quorum_shortfall_rounds(), 1);
+        assert_eq!(m.recovered_uploads(), 1);
+        assert_eq!(m.escalated_jobs(), 4);
+        assert_eq!(m.wasted_rounds(), 0);
+        assert!((m.mean_aggregated_per_round() - 2.0).abs() < 1e-12);
+        let csv = m.to_csv();
+        let header_cols = FleetMetrics::CSV_HEADER.split(',').count();
+        assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), header_cols);
+        assert!(csv.lines().next().unwrap().contains("recovered_uploads"));
     }
 
     #[test]

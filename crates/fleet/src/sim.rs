@@ -6,6 +6,7 @@ use crate::fault::FaultPlan;
 use crate::generator::FleetSpec;
 use crate::metrics::FleetMetrics;
 use bofl::task::PaceController;
+use bofl_fl::network::RetryPolicy;
 use bofl_fl::server::{Federation, FederationConfig, RunHistory};
 
 /// A ready-to-run fleet simulation. Build one with
@@ -38,6 +39,7 @@ impl FleetSimulation {
             config,
             workers: 1,
             faults: FaultPlan::none(),
+            retry: RetryPolicy::none(),
             controller_factory: None,
         }
     }
@@ -84,13 +86,17 @@ impl FleetRunReport {
     }
 }
 
+/// A per-client pace-controller factory: client id → controller.
+type ControllerFactory = Box<dyn Fn(usize) -> Box<dyn PaceController>>;
+
 /// Builder for [`FleetSimulation`].
 pub struct FleetSimulationBuilder {
     spec: FleetSpec,
     config: FederationConfig,
     workers: usize,
     faults: FaultPlan,
-    controller_factory: Option<Box<dyn Fn() -> Box<dyn PaceController>>>,
+    retry: RetryPolicy,
+    controller_factory: Option<ControllerFactory>,
 }
 
 impl std::fmt::Debug for FleetSimulationBuilder {
@@ -128,10 +134,22 @@ impl FleetSimulationBuilder {
         self
     }
 
-    /// Sets the per-client pace-controller factory (defaults to the
-    /// federation's default, the Performant baseline).
+    /// Attaches an upload retry policy (defaults to
+    /// [`RetryPolicy::none`]).
     #[must_use]
-    pub fn controller_factory(mut self, f: impl Fn() -> Box<dyn PaceController> + 'static) -> Self {
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the per-client pace-controller factory (client id →
+    /// controller; defaults to the federation's default, the Performant
+    /// baseline).
+    #[must_use]
+    pub fn controller_factory(
+        mut self,
+        f: impl Fn(usize) -> Box<dyn PaceController> + 'static,
+    ) -> Self {
         self.controller_factory = Some(Box::new(f));
         self
     }
@@ -140,9 +158,13 @@ impl FleetSimulationBuilder {
     pub fn build(self) -> FleetSimulation {
         let spec = self.spec;
         let engine = if self.workers == 1 {
-            FleetEngine::sequential().with_faults(self.faults)
+            FleetEngine::sequential()
+                .with_faults(self.faults)
+                .with_retry(self.retry)
         } else {
-            FleetEngine::new(self.workers).with_faults(self.faults)
+            FleetEngine::new(self.workers)
+                .with_faults(self.faults)
+                .with_retry(self.retry)
         };
         let rounds = self.config.rounds;
         let mut builder = Federation::builder(self.config)

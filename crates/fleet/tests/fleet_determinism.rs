@@ -27,6 +27,32 @@ fn run_fleet(seed: u64, workers: usize) -> FleetRunReport {
         .run()
 }
 
+/// Like [`run_fleet`], but with the full recovery stack enabled: quorum +
+/// over-selection, retried uploads with backoff, and the same fault plan.
+fn run_fleet_recovering(seed: u64, workers: usize) -> FleetRunReport {
+    let spec = FleetSpec::mixed(10, seed);
+    FleetSimulation::builder(spec)
+        .federation(FederationConfig {
+            clients_per_round: 4,
+            rounds: 3,
+            classes: 3,
+            feature_dims: 6,
+            seed,
+            aggregation: AggregationPolicy::recovery(),
+            ..FederationConfig::default()
+        })
+        .workers(workers)
+        .faults(
+            FaultPlan::new(seed ^ 0xFA17)
+                .with_dropout(0.15)
+                .with_stragglers(0.25, (1.5, 3.0))
+                .with_upload_failures(0.1),
+        )
+        .retry(RetryPolicy::recovery())
+        .build()
+        .run()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -36,6 +62,18 @@ proptest! {
     fn trace_is_independent_of_worker_count(seed in 0u64..1_000_000) {
         let sequential = run_fleet(seed, 1);
         let parallel = run_fleet(seed, 8);
+        prop_assert_eq!(&sequential.history, &parallel.history);
+        prop_assert_eq!(&sequential.metrics, &parallel.metrics);
+        prop_assert_eq!(sequential.metrics.to_csv(), parallel.metrics.to_csv());
+    }
+
+    /// The recovery stack (quorum aggregation, over-selection, retried
+    /// uploads with seeded backoff) must preserve the same guarantee:
+    /// retries are pure in (round, client, attempt), never in scheduling.
+    #[test]
+    fn recovery_trace_is_independent_of_worker_count(seed in 0u64..1_000_000) {
+        let sequential = run_fleet_recovering(seed, 1);
+        let parallel = run_fleet_recovering(seed, 8);
         prop_assert_eq!(&sequential.history, &parallel.history);
         prop_assert_eq!(&sequential.metrics, &parallel.metrics);
         prop_assert_eq!(sequential.metrics.to_csv(), parallel.metrics.to_csv());

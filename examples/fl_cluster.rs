@@ -40,7 +40,7 @@ fn mixed_devices(id: usize) -> Device {
 
 fn run(
     label: &str,
-    make_controller: impl Fn() -> Box<dyn bofl::task::PaceController> + 'static,
+    make_controller: impl Fn(usize) -> Box<dyn bofl::task::PaceController> + 'static,
 ) -> RunHistory {
     // A small cluster doesn't need the parallel worker pool; the
     // single-threaded fleet engine keeps the run easy to step through.
@@ -77,10 +77,10 @@ fn run(
 }
 
 fn main() {
-    let bofl = run("BoFL", || {
+    let bofl = run("BoFL", |_id| {
         Box::new(BoflController::new(BoflConfig::default()))
     });
-    let performant = run("Performant", || Box::new(PerformantController::new()));
+    let performant = run("Performant", |_id| Box::new(PerformantController::new()));
 
     let saving = 1.0 - bofl.total_energy_j() / performant.total_energy_j();
     println!(

@@ -23,7 +23,7 @@ fn run(policy: DeadlinePolicy, label: &str) -> RunHistory {
         ..FederationConfig::default()
     };
     let mut federation = Federation::builder(config)
-        .controller_factory(|| Box::new(BoflController::new(BoflConfig::fast_test())))
+        .controller_factory(|_id| Box::new(BoflController::new(BoflConfig::fast_test())))
         .build();
     let history = federation.run();
     let aggregated: usize = history.rounds.iter().map(|r| r.aggregated.len()).sum();

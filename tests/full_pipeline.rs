@@ -150,7 +150,7 @@ fn federation_with_bofl_clients_learns_and_saves() {
         ..FederationConfig::default()
     };
     let mut bofl_fed = Federation::builder(config)
-        .controller_factory(|| {
+        .controller_factory(|_id| {
             Box::new(bofl_repro::bofl::BoflController::new(
                 BoflConfig::fast_test(),
             ))
