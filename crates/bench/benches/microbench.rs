@@ -8,9 +8,10 @@ use std::hint::black_box;
 use bofl_device::Device;
 use bofl_gp::{GaussianProcess, GpConfig};
 use bofl_ilp::{solve_profile, solve_profile_pairs, ConfigCost};
+use bofl_linalg::{Cholesky, Matrix};
 use bofl_mobo::ehvi::{expected_hypervolume_improvement, BiGaussian};
 use bofl_mobo::hypervolume::hypervolume;
-use bofl_mobo::{ParetoFront, SobolSequence};
+use bofl_mobo::{MoboConfig, MoboEngine, Observation, ParetoFront, SobolSequence};
 use bofl_workload::{FlTask, TaskKind, Testbed};
 
 fn device_eval(c: &mut Criterion) {
@@ -43,7 +44,7 @@ fn gp_fit_predict(c: &mut Criterion) {
         ..GpConfig::default()
     };
     c.bench_function("gp/fit_70pts_3d_mle", |b| {
-        b.iter(|| GaussianProcess::fit(black_box(&xs), black_box(&ys), cfg).unwrap())
+        b.iter(|| GaussianProcess::fit(black_box(&xs), black_box(&ys), cfg.clone()).unwrap())
     });
 
     let gp = GaussianProcess::fit(&xs, &ys, cfg).unwrap();
@@ -126,6 +127,74 @@ fn exploitation_ilp(c: &mut Criterion) {
     });
 }
 
+fn mobo_suggest(c: &mut Criterion) {
+    // The surrogate hot path end to end: fit both GPs, run the
+    // sequential-greedy EHVI scan over 512 candidates, pick a batch of 8.
+    // `cold` fits from scratch (full multi-start); `warm` re-suggests on
+    // an engine whose hyperparameter cache is already populated — the
+    // steady-state cost of one Pareto-construction round.
+    for &n in &[16usize, 64, 128] {
+        let mut engine = MoboEngine::new(MoboConfig::default());
+        let mut sobol = SobolSequence::new(3);
+        for _ in 0..n {
+            let x = sobol.next_point();
+            let f0 = 2.0 + x[0] + 0.5 * (7.0 * x[1]).sin() + 0.2 * x[2];
+            let f1 = 3.0 - x[0] + 0.4 * (5.0 * x[2]).cos() + 0.2 * x[1];
+            engine.observe(Observation::new(x, [f0, f1])).unwrap();
+        }
+        let candidates: Vec<Vec<f64>> = (0..512).map(|_| sobol.next_point()).collect();
+        c.bench_function(&format!("mobo/suggest_cold_{n}obs_512cand_k8"), |b| {
+            b.iter_batched(
+                || engine.clone(),
+                |mut e| e.suggest(8, &candidates).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        let mut warmed = engine.clone();
+        warmed.suggest(8, &candidates).unwrap();
+        c.bench_function(&format!("mobo/suggest_warm_{n}obs_512cand_k8"), |b| {
+            b.iter_batched(
+                || warmed.clone(),
+                |mut e| e.suggest(8, &candidates).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn cholesky_extend_vs_factor(c: &mut Criterion) {
+    // Appending one point to a 128-point GP: bordered update (O(n²))
+    // against the from-scratch refactorization (O(n³)) it replaces.
+    let n = 128;
+    let a = Matrix::from_fn(n, n, |i, j| {
+        let d = (i as f64 - j as f64) / 16.0;
+        3.0 * (-d * d).exp() + if i == j { 0.5 } else { 0.0 }
+    });
+    let chol = Cholesky::factor(&a).unwrap();
+    let row: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = (i as f64 - n as f64) / 16.0;
+            3.0 * (-d * d).exp()
+        })
+        .collect();
+    let diag = 3.5;
+    c.bench_function("linalg/cholesky_extend_128", |b| {
+        b.iter(|| chol.extend(black_box(&row), black_box(diag)).unwrap())
+    });
+    let full = Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if i < n && j < n {
+            a[(i, j)]
+        } else if i == n && j == n {
+            diag
+        } else {
+            row[i.min(j)]
+        }
+    });
+    c.bench_function("linalg/cholesky_factor_129", |b| {
+        b.iter(|| Cholesky::factor(black_box(&full)).unwrap())
+    });
+}
+
 fn sobol(c: &mut Criterion) {
     c.bench_function("mobo/sobol_1000_points_3d", |b| {
         b.iter(|| {
@@ -138,6 +207,7 @@ fn sobol(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = device_eval, gp_fit_predict, ehvi_and_hypervolume, exploitation_ilp, sobol
+    targets = device_eval, gp_fit_predict, ehvi_and_hypervolume, exploitation_ilp,
+        mobo_suggest, cholesky_extend_vs_factor, sobol
 }
 criterion_main!(benches);

@@ -168,6 +168,10 @@ pub struct ClientRoundResult {
     /// Latency observations the controller quarantined as contaminated
     /// (excluded from its surrogate-model training set).
     pub quarantined: u64,
+    /// Wall-clock milliseconds the controller's MBO `suggest` call took
+    /// this round (`0.0` when no surrogate ran — baselines, or BoFL
+    /// phases that did not re-plan).
+    pub suggest_ms: f64,
 }
 
 /// One federated client: local data, a simulated device, and a pluggable
@@ -314,6 +318,10 @@ impl FlClient {
             phase: stats.phase,
             escalated_jobs: stats.escalated_jobs,
             quarantined: stats.quarantined,
+            suggest_ms: stats
+                .mbo_duration
+                .map(|d| d.as_secs_f64() * 1e3)
+                .unwrap_or(0.0),
         }
     }
 

@@ -98,6 +98,9 @@ pub struct FleetRoundStats {
     /// Clients per controller phase:
     /// `[none, random exploration, pareto construction, exploitation]`.
     pub phase_counts: [usize; 4],
+    /// Per-client MBO `suggest` wall time this round, milliseconds
+    /// (all-zero for baselines and rounds that did not re-plan).
+    pub suggest_ms: Distribution,
     /// Global-model test accuracy after the round.
     pub test_accuracy: f64,
 }
@@ -143,6 +146,12 @@ impl FleetRoundStats {
             escalated_jobs: outcomes.iter().map(|o| o.result.escalated_jobs).sum(),
             quarantined: outcomes.iter().map(|o| o.result.quarantined).sum(),
             phase_counts,
+            suggest_ms: Distribution::of(
+                &outcomes
+                    .iter()
+                    .map(|o| o.result.suggest_ms)
+                    .collect::<Vec<f64>>(),
+            ),
             test_accuracy: record.test_accuracy,
         }
     }
@@ -227,7 +236,7 @@ impl FleetMetrics {
 energy_total_j,energy_mean_j,energy_p95_j,latency_mean_s,latency_p95_s,latency_max_s,\
 miss_rate,dropouts,upload_failures,stragglers,\
 quorum,quorum_shortfall,upload_retries,recovered_uploads,escalated_jobs,quarantined,\
-phase_none,phase_random,phase_pareto,phase_exploit,test_accuracy";
+phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
 
     /// Renders all recorded rounds as CSV. Formatting is fixed-precision,
     /// so two runs with identical traces produce byte-identical files —
@@ -237,7 +246,7 @@ phase_none,phase_random,phase_pareto,phase_exploit,test_accuracy";
         out.push('\n');
         for r in &self.rounds {
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4}\n",
+                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.4}\n",
                 r.round,
                 r.selected,
                 r.aggregated,
@@ -262,6 +271,9 @@ phase_none,phase_random,phase_pareto,phase_exploit,test_accuracy";
                 r.phase_counts[1],
                 r.phase_counts[2],
                 r.phase_counts[3],
+                // The round's worst per-client suggest time: the MBO
+                // overhead on the critical path (Fig. 13's quantity).
+                r.suggest_ms.max,
                 r.test_accuracy,
             ));
         }
@@ -299,6 +311,7 @@ mod tests {
                 phase: Some(Phase::Exploitation),
                 escalated_jobs: 0,
                 quarantined: 0,
+                suggest_ms: 0.0,
             },
             dropped: false,
             straggler_factor: 1.0,
@@ -368,6 +381,7 @@ mod tests {
         let mut escalated = outcome(2, 30.0, 12.0, false);
         escalated.result.escalated_jobs = 4;
         escalated.result.quarantined = 1;
+        escalated.result.suggest_ms = 7.25;
         let mut rec = record(0);
         rec.quorum = 3;
         rec.quorum_shortfall = 1;
@@ -378,6 +392,7 @@ mod tests {
         assert_eq!(s.quorum_shortfall, 1);
         assert_eq!(s.escalated_jobs, 4);
         assert_eq!(s.quarantined, 1);
+        assert_eq!(s.suggest_ms.max, 7.25);
         let mut m = FleetMetrics::new();
         m.rounds.push(s);
         assert_eq!(m.quorum_shortfall_rounds(), 1);
@@ -389,6 +404,8 @@ mod tests {
         let header_cols = FleetMetrics::CSV_HEADER.split(',').count();
         assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), header_cols);
         assert!(csv.lines().next().unwrap().contains("recovered_uploads"));
+        assert!(csv.lines().next().unwrap().contains("suggest_ms"));
+        assert!(csv.lines().nth(1).unwrap().contains("7.250"));
     }
 
     #[test]

@@ -18,8 +18,20 @@ impl Posterior {
     }
 }
 
+/// Hyperparameters carried over from a previous fit, used to seed the
+/// next one (see [`GpConfig::warm_start`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Kernel variance (standardized units).
+    pub variance: f64,
+    /// ARD lengthscales, one per input dimension.
+    pub lengthscales: Vec<f64>,
+    /// Observation-noise variance (standardized units).
+    pub noise: f64,
+}
+
 /// Configuration for fitting a [`GaussianProcess`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpConfig {
     /// Kernel family (the paper uses Matérn-5/2).
     pub kernel: KernelKind,
@@ -32,6 +44,13 @@ pub struct GpConfig {
     pub restarts: usize,
     /// Evaluation budget per restart.
     pub max_evaluations: usize,
+    /// Hyperparameters from a previous fit. When set, they seed the first
+    /// Nelder–Mead start (displacing one deterministic start), so a
+    /// refit after a few new observations converges in a fraction of the
+    /// evaluations; with `restarts: 0` they are adopted verbatim. Invalid
+    /// warm starts (wrong dimension, non-finite or non-positive values)
+    /// are ignored.
+    pub warm_start: Option<WarmStart>,
 }
 
 impl Default for GpConfig {
@@ -41,6 +60,7 @@ impl Default for GpConfig {
             noise_variance: None,
             restarts: 3,
             max_evaluations: 400,
+            warm_start: None,
         }
     }
 }
@@ -144,14 +164,32 @@ impl GaussianProcess {
         let init_lengthscale = 0.3; // inputs are unit-cube coordinates in BoFL
         let init_noise = config.noise_variance.unwrap_or(1e-3);
 
+        // A warm start is only usable if it matches this problem's shape
+        // and is numerically sane.
+        let warm = config.warm_start.as_ref().filter(|w| {
+            w.lengthscales.len() == dim
+                && w.variance.is_finite()
+                && w.variance > 0.0
+                && w.noise.is_finite()
+                && w.noise > 0.0
+                && w.lengthscales.iter().all(|l| l.is_finite() && *l > 0.0)
+        });
+
         let (variance, lengthscales, noise) = if config.restarts == 0 || xs.len() < 3 {
-            (
-                init_variance,
-                vec![init_lengthscale; dim],
-                init_noise.max(1e-8),
-            )
+            match warm {
+                Some(w) => (
+                    w.variance,
+                    w.lengthscales.clone(),
+                    config.noise_variance.unwrap_or(w.noise).max(1e-9),
+                ),
+                None => (
+                    init_variance,
+                    vec![init_lengthscale; dim],
+                    init_noise.max(1e-8),
+                ),
+            }
         } else {
-            Self::optimize_hyperparameters(xs, &ys_std, &config, dim, init_noise)
+            Self::optimize_hyperparameters(xs, &ys_std, &config, dim, init_noise, warm)
         };
 
         let kernel = config.kernel.build(variance, &lengthscales);
@@ -177,11 +215,23 @@ impl GaussianProcess {
         noise: f64,
     ) -> Result<(Cholesky, Vec<f64>), GpError> {
         let n = xs.len();
-        let mut gram = Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
-        gram.add_diagonal(noise);
+        let mut gram = Matrix::zeros(n, n);
+        Self::fill_gram_lower(&mut gram, xs, kernel, noise);
         let chol = Cholesky::factor(&gram)?;
         let alpha = chol.solve(ys_std)?;
         Ok((chol, alpha))
+    }
+
+    /// Fills the lower triangle (all [`Cholesky::factor`] reads) of the
+    /// Gram matrix `K + noise·I` into `gram`, overwriting previous
+    /// contents — the buffer can be reused across likelihood evaluations.
+    fn fill_gram_lower(gram: &mut Matrix, xs: &[Vec<f64>], kernel: &dyn Kernel, noise: f64) {
+        for i in 0..xs.len() {
+            for j in 0..i {
+                gram[(i, j)] = kernel.eval(&xs[i], &xs[j]);
+            }
+            gram[(i, i)] = kernel.eval(&xs[i], &xs[i]) + noise;
+        }
     }
 
     fn log_marginal_likelihood_for(
@@ -206,11 +256,17 @@ impl GaussianProcess {
         config: &GpConfig,
         dim: usize,
         init_noise: f64,
+        warm: Option<&WarmStart>,
     ) -> (f64, Vec<f64>, f64) {
         let fit_noise = config.noise_variance.is_none();
         let n_params = 1 + dim + usize::from(fit_noise);
+        let n = xs.len();
 
-        let objective = |theta: &[f64]| -> f64 {
+        // One Gram buffer for the whole optimization; each likelihood
+        // evaluation overwrites the lower triangle in place instead of
+        // allocating a fresh n×n matrix.
+        let mut gram = Matrix::zeros(n, n);
+        let mut objective = |theta: &[f64]| -> f64 {
             // theta = [log σ², log ℓ₁…ℓ_d, (log σ_n²)]
             let variance = theta[0].exp();
             let ls: Vec<f64> = theta[1..=dim].iter().map(|v| v.exp()).collect();
@@ -226,30 +282,55 @@ impl GaussianProcess {
                 return f64::INFINITY;
             }
             let kernel = config.kernel.build(variance, &ls);
-            -Self::log_marginal_likelihood_for(xs, ys_std, kernel.as_ref(), noise)
+            Self::fill_gram_lower(&mut gram, xs, kernel.as_ref(), noise);
+            let Ok(chol) = Cholesky::factor(&gram) else {
+                return f64::INFINITY;
+            };
+            let Ok(alpha) = chol.solve(ys_std) else {
+                return f64::INFINITY;
+            };
+            let data_fit: f64 = ys_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+            let nf = ys_std.len() as f64;
+            // Negated log marginal likelihood (we minimize).
+            0.5 * data_fit + 0.5 * chol.log_det() + 0.5 * nf * (2.0 * std::f64::consts::PI).ln()
         };
 
-        let mut best: Option<(f64, Vec<f64>)> = None;
-        let starts: Vec<Vec<f64>> = (0..config.restarts)
-            .map(|r| {
-                // Deterministic spread of starting points: vary the
-                // lengthscale scale per restart.
-                let ls0 = 0.1 * 3f64.powi(r as i32); // 0.1, 0.3, 0.9, …
-                let mut s = vec![0.0; n_params];
-                s[0] = 0.0; // log σ² = 0 (standardized outputs)
-                for v in s.iter_mut().take(dim + 1).skip(1) {
-                    *v = ls0.ln();
-                }
-                if fit_noise {
-                    s[dim + 1] = (1e-3f64).ln();
-                }
-                s
-            })
-            .collect();
+        // The warm start (when valid) displaces the first deterministic
+        // start, so a 1-restart refit is seeded at the previous optimum.
+        let total_starts = config.restarts.max(1);
+        let mut starts: Vec<Vec<f64>> = Vec::with_capacity(total_starts);
+        if let Some(w) = warm {
+            let mut s = vec![0.0; n_params];
+            s[0] = w.variance.clamp(1e-8, 1e4).ln();
+            for (slot, l) in s[1..=dim].iter_mut().zip(&w.lengthscales) {
+                *slot = l.clamp(1e-4, 1e3).ln();
+            }
+            if fit_noise {
+                s[dim + 1] = w.noise.clamp(1e-9, 1.0).ln();
+            }
+            starts.push(s);
+        }
+        let mut r = 0;
+        while starts.len() < total_starts {
+            // Deterministic spread of starting points: vary the
+            // lengthscale scale per restart.
+            let ls0 = 0.1 * 3f64.powi(r); // 0.1, 0.3, 0.9, …
+            let mut s = vec![0.0; n_params];
+            s[0] = 0.0; // log σ² = 0 (standardized outputs)
+            for v in s.iter_mut().take(dim + 1).skip(1) {
+                *v = ls0.ln();
+            }
+            if fit_noise {
+                s[dim + 1] = (1e-3f64).ln();
+            }
+            starts.push(s);
+            r += 1;
+        }
 
+        let mut best: Option<(f64, Vec<f64>)> = None;
         let nm = NelderMead::new().with_max_evaluations(config.max_evaluations);
         for s in starts {
-            let res = nm.minimize(objective, &s);
+            let res = nm.minimize(&mut objective, &s);
             if res.value.is_finite() && best.as_ref().is_none_or(|(v, _)| res.value < *v) {
                 best = Some((res.value, res.x));
             }
@@ -332,10 +413,59 @@ impl GaussianProcess {
         })
     }
 
+    /// Posterior predictive distributions at a batch of query points.
+    ///
+    /// Equivalent to calling [`GaussianProcess::predict`] per query, but
+    /// validates once and reuses the `k_star`/half-solve scratch buffers
+    /// across queries, so scanning a large candidate set does not allocate
+    /// per point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GaussianProcess::predict`]; validation covers
+    /// the whole batch before any prediction is computed.
+    pub fn predict_batch(&self, queries: &[Vec<f64>]) -> Result<Vec<Posterior>, GpError> {
+        for x in queries {
+            if x.len() != self.dim {
+                return Err(GpError::DimensionMismatch {
+                    detail: format!("query dim {} vs model dim {}", x.len(), self.dim),
+                });
+            }
+            if x.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::NonFinite);
+            }
+        }
+        let n = self.xs.len();
+        let prior = self.kernel.variance();
+        let mut k_star = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let mut out = Vec::with_capacity(queries.len());
+        for x in queries {
+            for (k, xi) in k_star.iter_mut().zip(&self.xs) {
+                *k = self.kernel.eval(xi, x);
+            }
+            let mean_std: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+            self.chol.solve_half_into(&k_star, &mut v)?;
+            let var_std = (prior - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+            // Same association order as `predict`, so batch and scalar
+            // prediction agree bitwise.
+            out.push(Posterior {
+                mean: self.y_transform.invert(mean_std),
+                variance: var_std * self.y_transform.scale() * self.y_transform.scale(),
+            });
+        }
+        Ok(out)
+    }
+
     /// Returns a new GP conditioned on one additional *fantasized*
     /// observation `(x, y)` without re-optimizing hyperparameters — the
     /// "Kriging believer" step of the paper's sequential-greedy batch
     /// selection (§4.3 step 2).
+    ///
+    /// Cost is `O(n²)`: the existing Cholesky factor is extended by one
+    /// bordered row ([`Cholesky::extend`]) and the weight vector re-solved
+    /// against it, so fantasizing `k` points in sequence costs `O(k·n²)`
+    /// rather than the `O(k·n³)` of refactoring from scratch each step.
     ///
     /// # Errors
     ///
@@ -350,12 +480,14 @@ impl GaussianProcess {
         if x.iter().any(|v| !v.is_finite()) || !y.is_finite() {
             return Err(GpError::NonFinite);
         }
+        let k_star: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let border_diag = self.kernel.eval(x, x) + self.noise_variance;
+        let chol = self.chol.extend(&k_star, border_diag)?;
         let mut xs = self.xs.clone();
         xs.push(x.to_vec());
         let mut ys_std = self.ys_std.clone();
         ys_std.push(self.y_transform.apply(y));
-        let (chol, alpha) =
-            Self::build_posterior(&xs, &ys_std, self.kernel.as_ref(), self.noise_variance)?;
+        let alpha = chol.solve(&ys_std)?;
         Ok(GaussianProcess {
             xs,
             ys_std,
@@ -526,6 +658,158 @@ mod tests {
         let gp = GaussianProcess::fit(&[vec![0.5]], &[2.0], GpConfig::default()).unwrap();
         let p = gp.predict(&[0.5]).unwrap();
         assert!((p.mean - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let xs = grid_1d(8);
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).cos()).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let queries: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+        let batch = gp.predict_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            let p = gp.predict(q).unwrap();
+            assert_eq!(p, *b, "batch and scalar prediction diverge at {q:?}");
+        }
+        // Batch validation covers every query before computing anything.
+        assert!(gp.predict_batch(&[vec![0.1], vec![0.1, 0.2]]).is_err());
+        assert!(gp.predict_batch(&[vec![f64::NAN]]).is_err());
+        assert!(gp.predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn condition_on_matches_from_scratch_posterior() {
+        // The incremental (bordered-Cholesky) conditioning must agree with
+        // refitting the posterior from scratch at fixed hyperparameters.
+        let xs = grid_1d(7);
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x[0]).sin() + x[0]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let inc = gp.condition_on(&[0.42], 1.7).unwrap();
+
+        let mut xs2 = xs.clone();
+        xs2.push(vec![0.42]);
+        let mut ys_std2 = gp.ys_std.clone();
+        ys_std2.push(gp.y_transform.apply(1.7));
+        let (chol, alpha) =
+            GaussianProcess::build_posterior(&xs2, &ys_std2, gp.kernel.as_ref(), gp.noise_variance)
+                .unwrap();
+        for (a, b) in inc.alpha.iter().zip(&alpha) {
+            assert!((a - b).abs() < 1e-8, "alpha diverged: {a} vs {b}");
+        }
+        assert!((inc.chol.log_det() - chol.log_det()).abs() < 1e-8);
+        for q in [0.0, 0.25, 0.42, 0.77, 1.0] {
+            let scratch = GaussianProcess {
+                xs: xs2.clone(),
+                ys_std: ys_std2.clone(),
+                y_transform: gp.y_transform,
+                kernel: gp
+                    .kernel
+                    .with_hyperparameters(gp.kernel.variance(), gp.kernel.lengthscales()),
+                noise_variance: gp.noise_variance,
+                chol: chol.clone(),
+                alpha: alpha.clone(),
+                dim: 1,
+            };
+            let pi = inc.predict(&[q]).unwrap();
+            let ps = scratch.predict(&[q]).unwrap();
+            assert!((pi.mean - ps.mean).abs() < 1e-8);
+            assert!((pi.variance - ps.variance).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn warm_start_reproduces_full_fit_quality() {
+        let xs = grid_1d(12);
+        let ys: Vec<f64> = xs.iter().map(|x| (8.0 * x[0]).sin()).collect();
+        let full = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let warm = WarmStart {
+            variance: full.kernel().variance(),
+            lengthscales: full.kernel().lengthscales().to_vec(),
+            noise: full.noise_variance(),
+        };
+        // A 1-restart warm refit on slightly grown data must match the
+        // likelihood a full multi-start fit achieves (within slack).
+        let mut xs2 = xs.clone();
+        xs2.push(vec![0.43]);
+        let mut ys2 = ys.clone();
+        ys2.push((8.0f64 * 0.43).sin());
+        let warm_fit = GaussianProcess::fit(
+            &xs2,
+            &ys2,
+            GpConfig {
+                restarts: 1,
+                warm_start: Some(warm),
+                ..GpConfig::default()
+            },
+        )
+        .unwrap();
+        let full2 = GaussianProcess::fit(&xs2, &ys2, GpConfig::default()).unwrap();
+        assert!(
+            warm_fit.log_marginal_likelihood() >= full2.log_marginal_likelihood() - 0.5,
+            "warm {} vs full {}",
+            warm_fit.log_marginal_likelihood(),
+            full2.log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn invalid_warm_start_is_ignored() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        for bad in [
+            WarmStart {
+                variance: f64::NAN,
+                lengthscales: vec![0.3],
+                noise: 1e-3,
+            },
+            WarmStart {
+                variance: 1.0,
+                lengthscales: vec![0.3, 0.3], // wrong dimension
+                noise: 1e-3,
+            },
+            WarmStart {
+                variance: 1.0,
+                lengthscales: vec![-0.3],
+                noise: 1e-3,
+            },
+        ] {
+            let gp = GaussianProcess::fit(
+                &xs,
+                &ys,
+                GpConfig {
+                    restarts: 1,
+                    warm_start: Some(bad),
+                    ..GpConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(gp.predict(&[0.5]).unwrap().mean.is_finite());
+        }
+    }
+
+    #[test]
+    fn warm_start_with_zero_restarts_adopts_hypers() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+        let warm = WarmStart {
+            variance: 2.5,
+            lengthscales: vec![0.17],
+            noise: 3e-3,
+        };
+        let gp = GaussianProcess::fit(
+            &xs,
+            &ys,
+            GpConfig {
+                restarts: 0,
+                warm_start: Some(warm.clone()),
+                ..GpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(gp.kernel().variance(), warm.variance);
+        assert_eq!(gp.kernel().lengthscales(), warm.lengthscales.as_slice());
+        assert_eq!(gp.noise_variance(), warm.noise);
     }
 
     #[test]

@@ -30,6 +30,39 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Refitting cheaply after new observations arrive, by warm-starting the
+//! hyperparameter search from the previous optimum ([`GpConfig::warm_start`]
+//! plus a reduced [`GpConfig::restarts`] — the fast surrogate path the MBO
+//! engine uses between full multi-start refits):
+//!
+//! ```
+//! use bofl_gp::{GaussianProcess, GpConfig, WarmStart};
+//!
+//! # fn main() -> Result<(), bofl_gp::GpError> {
+//! let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+//! let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default())?;
+//!
+//! // Two new points arrive; seed the refit from the fitted optimum and
+//! // drop to a single Nelder–Mead start.
+//! let mut xs2 = xs.clone();
+//! xs2.extend([vec![0.9], vec![0.95]]);
+//! let ys2: Vec<f64> = xs2.iter().map(|x| (6.0 * x[0]).sin()).collect();
+//! let warm = GpConfig {
+//!     restarts: 1,
+//!     warm_start: Some(WarmStart {
+//!         variance: gp.kernel().variance(),
+//!         lengthscales: gp.kernel().lengthscales().to_vec(),
+//!         noise: gp.noise_variance(),
+//!     }),
+//!     ..GpConfig::default()
+//! };
+//! let refit = GaussianProcess::fit(&xs2, &ys2, warm)?;
+//! assert!(refit.predict(&[0.5])?.mean.is_finite());
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +73,6 @@ mod kernel;
 mod neldermead;
 
 pub use error::GpError;
-pub use gp::{GaussianProcess, GpConfig, Posterior};
+pub use gp::{GaussianProcess, GpConfig, Posterior, WarmStart};
 pub use kernel::{Kernel, KernelKind, Matern32, Matern52, SquaredExponential};
 pub use neldermead::{NelderMead, NelderMeadResult};

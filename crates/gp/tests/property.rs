@@ -59,6 +59,66 @@ proptest! {
         prop_assert!(p.variance <= prior_var * y_spread * 10.0 + 1e-6);
     }
 
+    /// The incremental `condition_on` (bordered-Cholesky append, O(n²))
+    /// must match the pre-change from-scratch posterior — here rebuilt
+    /// through the public API: same standardizer (fitted on the original
+    /// targets), same fitted kernel and noise, full Gram refactor over
+    /// the extended dataset.
+    #[test]
+    fn incremental_conditioning_matches_from_scratch(
+        ys in proptest::collection::vec(-10.0f64..10.0, 5..10),
+        fx in 0.05f64..0.95,
+        fy in -5.0f64..5.0,
+        q in 0.0f64..1.0,
+    ) {
+        use bofl_linalg::Standardizer;
+
+        let n = ys.len();
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig {
+            restarts: 1,
+            max_evaluations: 120,
+            ..GpConfig::default()
+        }).unwrap();
+
+        // Incremental: extend the fitted posterior by one fantasy point.
+        let inc = gp.condition_on(&[fx], fy).unwrap();
+
+        // From scratch: rebuild the extended posterior exactly as the
+        // pre-change implementation did — full Gram, full Cholesky.
+        let mut xs2 = xs.clone();
+        xs2.push(vec![fx]);
+        let std = Standardizer::fit(&ys).unwrap();
+        let mut ys_std2: Vec<f64> = ys.iter().map(|&y| std.apply(y)).collect();
+        ys_std2.push(std.apply(fy));
+        let kernel = Matern52::new(gp.kernel().variance(), gp.kernel().lengthscales());
+        let mut gram = Matrix::from_fn(n + 1, n + 1, |i, j| kernel.eval(&xs2[i], &xs2[j]));
+        gram.add_diagonal(gp.noise_variance());
+        let chol = Cholesky::factor(&gram).unwrap();
+        let alpha = chol.solve(&ys_std2).unwrap();
+        prop_assume!(chol.jitter() == 0.0);
+
+        for probe in [q, fx, 0.0, 1.0] {
+            let k_star: Vec<f64> = xs2.iter().map(|xi| kernel.eval(xi, &[probe])).collect();
+            let mean_std: f64 = k_star.iter().zip(&alpha).map(|(k, a)| k * a).sum();
+            let v = chol.solve_half(&k_star).unwrap();
+            let var_std = (kernel.variance() - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+            let mean = std.invert(mean_std);
+            let variance = var_std * std.scale() * std.scale();
+
+            let pi = inc.predict(&[probe]).unwrap();
+            let scale = 1.0 + mean.abs() + variance.abs();
+            prop_assert!(
+                (pi.mean - mean).abs() <= 1e-8 * scale,
+                "mean diverged at {}: {} vs {}", probe, pi.mean, mean
+            );
+            prop_assert!(
+                (pi.variance - variance).abs() <= 1e-8 * scale,
+                "variance diverged at {}: {} vs {}", probe, pi.variance, variance
+            );
+        }
+    }
+
     #[test]
     fn conditioning_never_raises_variance(
         seed_y in -5.0f64..5.0,

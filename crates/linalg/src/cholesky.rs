@@ -103,6 +103,96 @@ impl Cholesky {
         Ok(l)
     }
 
+    /// Extends the factorization by one bordered row: given the factor of
+    /// an `n×n` matrix `A`, returns the factor of
+    ///
+    /// ```text
+    /// [ A    row ]
+    /// [ rowᵀ diag]
+    /// ```
+    ///
+    /// in `O(n²)` (one forward substitution plus a scalar) instead of the
+    /// `O(n³)` of refactoring from scratch. The new bottom row of `L` is
+    /// `[yᵀ, √(diag − ‖y‖²)]` with `L y = row`.
+    ///
+    /// The stored factor is of `A + jitter·I`, so the appended diagonal
+    /// entry receives the same jitter to stay consistent with a
+    /// from-scratch [`Cholesky::factor`] of the jittered bordered matrix.
+    /// If the Schur complement `diag − ‖y‖²` still comes out non-positive,
+    /// an escalating *local* jitter is added to the appended entry only
+    /// (the existing factor is immutable here); [`Cholesky::jitter`]
+    /// continues to report the matrix-wide jitter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `row.len() != self.dim()`,
+    /// [`LinalgError::NonFinite`] for NaN/infinite input, and
+    /// [`LinalgError::NotPositiveDefinite`] if the bordered matrix is not
+    /// positive definite even at the maximum local jitter.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bofl_linalg::{Matrix, Cholesky};
+    ///
+    /// # fn main() -> Result<(), bofl_linalg::LinalgError> {
+    /// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+    /// let chol = Cholesky::factor(&a)?.extend(&[0.5, 0.25], 2.0)?;
+    /// let full = Matrix::from_rows(&[&[4.0, 1.0, 0.5],
+    ///                                &[1.0, 3.0, 0.25],
+    ///                                &[0.5, 0.25, 2.0]])?;
+    /// let direct = Cholesky::factor(&full)?;
+    /// assert!((chol.log_det() - direct.log_det()).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn extend(&self, row: &[f64], diag: f64) -> Result<Cholesky, LinalgError> {
+        let n = self.dim();
+        if row.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (row.len(), 1),
+                op: "cholesky extend",
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) || !diag.is_finite() {
+            return Err(LinalgError::NonFinite { what: "border" });
+        }
+        let y = solve_lower(&self.l, row)?;
+        let norm2: f64 = y.iter().map(|v| v * v).sum();
+        let base = diag + self.jitter - norm2;
+        let scale = if diag.abs() > 0.0 { diag.abs() } else { 1.0 };
+        let mut d2 = base;
+        let mut local_jitter = 0.0;
+        let mut step = 0u32;
+        while !(d2 > 0.0 && d2.is_finite()) {
+            if step > MAX_JITTER_STEPS {
+                return Err(LinalgError::NotPositiveDefinite {
+                    pivot: n,
+                    jitter: local_jitter,
+                });
+            }
+            local_jitter = BASE_JITTER * scale * 10f64.powi(step as i32);
+            d2 = base + local_jitter;
+            step += 1;
+        }
+
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for (j, yj) in y.iter().enumerate() {
+            l[(n, j)] = *yj;
+        }
+        l[(n, n)] = d2.sqrt();
+        Ok(Cholesky {
+            l,
+            jitter: self.jitter,
+        })
+    }
+
     /// The lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l
@@ -137,6 +227,38 @@ impl Cholesky {
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
     pub fn solve_half(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         solve_lower(&self.l, b)
+    }
+
+    /// Like [`Cholesky::solve_half`] but writes into a caller-provided
+    /// buffer, so hot loops (batched GP prediction) can reuse one
+    /// allocation across many solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` or
+    /// `out.len()` differs from `self.dim()`, and
+    /// [`LinalgError::SingularTriangular`] on a (near-)zero diagonal.
+    pub fn solve_half_into(&self, b: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.len() != n || out.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len().max(out.len()), 1),
+                op: "solve_half_into",
+            });
+        }
+        for i in 0..n {
+            let mut sum = b[i];
+            for (j, &oj) in out.iter().enumerate().take(i) {
+                sum -= self.l[(i, j)] * oj;
+            }
+            let d = self.l[(i, i)];
+            if !d.is_normal() {
+                return Err(LinalgError::SingularTriangular { index: i });
+            }
+            out[i] = sum / d;
+        }
+        Ok(())
     }
 
     /// `log det A = 2 Σ log L[i,i]`.
@@ -229,6 +351,95 @@ mod tests {
         assert!(matches!(
             Cholesky::factor(&a).unwrap_err(),
             LinalgError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn extend_matches_full_factor() {
+        // Border spd3 with a new row/diag and compare against refactoring.
+        let a = spd3();
+        let row = [1.0, 2.0, -0.5];
+        let diag = 30.0;
+        let ext = Cholesky::factor(&a).unwrap().extend(&row, diag).unwrap();
+        let mut full = Matrix::zeros(4, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                full[(i, j)] = a[(i, j)];
+            }
+            full[(3, i)] = row[i];
+            full[(i, 3)] = row[i];
+        }
+        full[(3, 3)] = diag;
+        let direct = Cholesky::factor(&full).unwrap();
+        assert_eq!(ext.dim(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((ext.l()[(i, j)] - direct.l()[(i, j)]).abs() < 1e-12);
+            }
+        }
+        assert!((ext.log_det() - direct.log_det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_chain_solves_like_scratch() {
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let c1 = chol.extend(&[1.0, 0.0, 1.0], 20.0).unwrap();
+        let c2 = c1.extend(&[0.5, 0.5, 0.5, 0.5], 15.0).unwrap();
+        let rec = c2.reconstruct();
+        let b: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let x = c2.solve(&b).unwrap();
+        let resid = rec.matvec(&x).unwrap();
+        for (r, bi) in resid.iter().zip(&b) {
+            assert!((r - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn extend_rescues_dependent_row_with_local_jitter() {
+        // The new row equals an existing one → Schur complement ~0; the
+        // local jitter must rescue the factorization.
+        let a = spd3();
+        let chol = Cholesky::factor(&a).unwrap();
+        let ext = chol.extend(&[25.0, 15.0, -5.0], 25.0).unwrap();
+        assert!(ext.l().is_finite());
+        assert!(ext.l()[(3, 3)] > 0.0);
+    }
+
+    #[test]
+    fn extend_validates_input() {
+        let chol = Cholesky::factor(&spd3()).unwrap();
+        assert!(matches!(
+            chol.extend(&[1.0, 2.0], 1.0).unwrap_err(),
+            LinalgError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            chol.extend(&[1.0, f64::NAN, 0.0], 1.0).unwrap_err(),
+            LinalgError::NonFinite { .. }
+        ));
+        assert!(matches!(
+            chol.extend(&[1.0, 0.0, 0.0], f64::INFINITY).unwrap_err(),
+            LinalgError::NonFinite { .. }
+        ));
+        // A wildly negative diagonal cannot be rescued.
+        assert!(matches!(
+            chol.extend(&[0.0, 0.0, 0.0], -100.0).unwrap_err(),
+            LinalgError::NotPositiveDefinite { .. }
+        ));
+    }
+
+    #[test]
+    fn solve_half_into_matches_solve_half() {
+        let chol = Cholesky::factor(&spd3()).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let expect = chol.solve_half(&b).unwrap();
+        let mut out = vec![0.0; 3];
+        chol.solve_half_into(&b, &mut out).unwrap();
+        assert_eq!(out, expect);
+        let mut short = vec![0.0; 2];
+        assert!(matches!(
+            chol.solve_half_into(&b, &mut short).unwrap_err(),
+            LinalgError::DimensionMismatch { .. }
         ));
     }
 

@@ -43,6 +43,44 @@ proptest! {
         }
     }
 
+    /// The bordered-update `extend` agrees with a from-scratch `factor` of
+    /// the bordered matrix (the incremental surrogate path's correctness
+    /// anchor).
+    #[test]
+    fn cholesky_extend_matches_bordered_factor(
+        a in (1usize..7).prop_flat_map(spd_matrix),
+        border in proptest::collection::vec(-2.0f64..2.0, 7),
+    ) {
+        let n = a.rows();
+        // Border the SPD matrix with a row scaled small enough (relative
+        // to the 0.5·n diagonal boost) to keep the result comfortably SPD.
+        let row: Vec<f64> = border[..n].iter().map(|v| v * 0.3).collect();
+        let diag = n as f64 * 0.5 + 4.0 + border[n].abs();
+        let mut full = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..n {
+                full[(i, j)] = a[(i, j)];
+            }
+            full[(n, i)] = row[i];
+            full[(i, n)] = row[i];
+        }
+        full[(n, n)] = diag;
+
+        let ext = Cholesky::factor(&a).unwrap().extend(&row, diag).unwrap();
+        let direct = Cholesky::factor(&full).unwrap();
+        prop_assume!(direct.jitter() == 0.0 && ext.jitter() == 0.0);
+        let tol = 1e-9 * (1.0 + full.max_abs());
+        for i in 0..=n {
+            for j in 0..=n {
+                prop_assert!(
+                    (ext.l()[(i, j)] - direct.l()[(i, j)]).abs() <= tol,
+                    "L[{},{}]: {} vs {}", i, j, ext.l()[(i, j)], direct.l()[(i, j)]
+                );
+            }
+        }
+        prop_assert!((ext.log_det() - direct.log_det()).abs() <= 1e-9 * (1.0 + direct.log_det().abs()));
+    }
+
     #[test]
     fn triangular_solve_residual(
         diag in proptest::collection::vec(0.5f64..4.0, 2..6),

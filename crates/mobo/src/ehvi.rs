@@ -101,46 +101,102 @@ pub struct BiGaussian {
 /// assert!(e_bad >= 0.0);
 /// ```
 pub fn expected_hypervolume_improvement(front: &ParetoFront, post: BiGaussian, r: [f64; 2]) -> f64 {
-    let s0 = post.std0.max(1e-12);
-    let s1 = post.std1.max(1e-12);
+    EhviCells::new(front, r).evaluate(post)
+}
 
-    // Front points inside the reference box, ascending in objective 0.
-    let pts: Vec<[f64; 2]> = front
-        .points()
-        .iter()
-        .copied()
-        .filter(|p| p[0] < r[0] && p[1] < r[1])
-        .collect();
+/// One vertical strip of the improvement region: `z0 ∈ [b_lo, b_hi)` with
+/// ceiling `c` on `z1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Strip {
+    b_lo: f64,
+    b_hi: f64,
+    ceiling: f64,
+}
 
-    // Strip i spans z0 ∈ [b_i, b_{i+1}) with ceiling c_i on z1:
-    //   strip 0:   (−∞, p₁.y0)  × (−∞, r1)
-    //   strip i:   [pᵢ.y0, pᵢ₊₁.y0) × (−∞, pᵢ.y1)
-    //   strip n:   [pₙ.y0, r0)  × (−∞, pₙ.y1)
-    let n = pts.len();
-    let mut total = 0.0;
-    for i in 0..=n {
-        let b_lo = if i == 0 {
-            f64::NEG_INFINITY
-        } else {
-            pts[i - 1][0]
-        };
-        let b_hi = if i < n { pts[i][0] } else { r[0] };
-        let ceiling = if i == 0 { r[1] } else { pts[i - 1][1] };
+/// The strip decomposition of the EHVI improvement region for a fixed
+/// `(front, reference)` pair.
+///
+/// Building the decomposition walks the front once (`O(n)`); evaluating a
+/// candidate posterior against it is then `O(n)` with **no allocation** —
+/// the candidate scan in the MBO engine builds this once per batch slot
+/// instead of re-filtering the front for every candidate inside
+/// [`expected_hypervolume_improvement`].
+///
+/// # Examples
+///
+/// ```
+/// use bofl_mobo::ParetoFront;
+/// use bofl_mobo::ehvi::{expected_hypervolume_improvement, BiGaussian, EhviCells};
+///
+/// let front: ParetoFront = [[2.0, 2.0]].into_iter().collect();
+/// let r = [4.0, 4.0];
+/// let cells = EhviCells::new(&front, r);
+/// let post = BiGaussian { mean0: 1.0, std0: 0.1, mean1: 1.0, std1: 0.1 };
+/// assert_eq!(
+///     cells.evaluate(post),
+///     expected_hypervolume_improvement(&front, post, r),
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EhviCells {
+    strips: Vec<Strip>,
+}
 
-        if b_hi <= b_lo {
-            continue;
+impl EhviCells {
+    /// Decomposes the improvement region of `(front, r)` into strips.
+    pub fn new(front: &ParetoFront, r: [f64; 2]) -> Self {
+        // Front points inside the reference box, ascending in objective 0.
+        let pts: Vec<[f64; 2]> = front
+            .points()
+            .iter()
+            .copied()
+            .filter(|p| p[0] < r[0] && p[1] < r[1])
+            .collect();
+
+        // Strip i spans z0 ∈ [b_i, b_{i+1}) with ceiling c_i on z1:
+        //   strip 0:   (−∞, p₁.y0)  × (−∞, r1)
+        //   strip i:   [pᵢ.y0, pᵢ₊₁.y0) × (−∞, pᵢ.y1)
+        //   strip n:   [pₙ.y0, r0)  × (−∞, pₙ.y1)
+        let n = pts.len();
+        let mut strips = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let b_lo = if i == 0 {
+                f64::NEG_INFINITY
+            } else {
+                pts[i - 1][0]
+            };
+            let b_hi = if i < n { pts[i][0] } else { r[0] };
+            let ceiling = if i == 0 { r[1] } else { pts[i - 1][1] };
+            if b_hi <= b_lo {
+                continue;
+            }
+            strips.push(Strip {
+                b_lo,
+                b_hi,
+                ceiling,
+            });
         }
-        let beta_hi = (b_hi - post.mean0) / s0;
-        let beta_lo = if b_lo == f64::NEG_INFINITY {
-            f64::NEG_INFINITY
-        } else {
-            (b_lo - post.mean0) / s0
-        };
-        let width_term = s0 * (psi(beta_hi) - psi(beta_lo));
-        let height_term = s1 * psi((ceiling - post.mean1) / s1);
-        total += width_term * height_term;
+        EhviCells { strips }
     }
-    total.max(0.0)
+
+    /// Exact EHVI of a candidate posterior against the decomposed region.
+    pub fn evaluate(&self, post: BiGaussian) -> f64 {
+        let s0 = post.std0.max(1e-12);
+        let s1 = post.std1.max(1e-12);
+        let mut total = 0.0;
+        for strip in &self.strips {
+            let beta_hi = (strip.b_hi - post.mean0) / s0;
+            let beta_lo = if strip.b_lo == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                (strip.b_lo - post.mean0) / s0
+            };
+            let width_term = s0 * (psi(beta_hi) - psi(beta_lo));
+            let height_term = s1 * psi((strip.ceiling - post.mean1) / s1);
+            total += width_term * height_term;
+        }
+        total.max(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +286,38 @@ mod tests {
             (exact - mc).abs() < 0.02 * (1.0 + mc),
             "exact {exact} vs MC {mc}"
         );
+    }
+
+    #[test]
+    fn cells_match_direct_evaluation() {
+        let front: ParetoFront = [[1.0, 4.0], [2.0, 3.0], [3.0, 1.0]].into_iter().collect();
+        let r = [5.0, 5.0];
+        let cells = EhviCells::new(&front, r);
+        for i in 0..40 {
+            let t = i as f64 / 39.0;
+            let post = BiGaussian {
+                mean0: 0.5 + 4.0 * t,
+                std0: 0.1 + t,
+                mean1: 4.5 - 4.0 * t,
+                std1: 1.1 - t,
+            };
+            assert_eq!(
+                cells.evaluate(post),
+                expected_hypervolume_improvement(&front, post, r),
+                "cells and direct EHVI must agree bitwise at t={t}"
+            );
+        }
+        // Points outside the reference box contribute no strips.
+        let outside: ParetoFront = [[9.0, 9.0]].into_iter().collect();
+        let empty_cells = EhviCells::new(&outside, [5.0, 5.0]);
+        let free = EhviCells::new(&ParetoFront::new(), [5.0, 5.0]);
+        let post = BiGaussian {
+            mean0: 2.0,
+            std0: 0.5,
+            mean1: 2.0,
+            std1: 0.5,
+        };
+        assert_eq!(empty_cells.evaluate(post), free.evaluate(post));
     }
 
     #[test]

@@ -1,8 +1,20 @@
-use crate::ehvi::{expected_hypervolume_improvement, BiGaussian};
+use crate::ehvi::{BiGaussian, EhviCells};
 use crate::hypervolume::hypervolume;
 use crate::{MoboError, ParetoFront};
-use bofl_gp::{GaussianProcess, GpConfig};
+use bofl_gp::{GaussianProcess, GpConfig, WarmStart};
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
+
+/// Candidate scans smaller than this always run on the calling thread:
+/// below it the per-candidate work cannot amortize thread spawning.
+const MIN_PARALLEL_SCAN: usize = 64;
+
+/// Hard cap on scan workers when `scan_workers == 0` (auto).
+const MAX_AUTO_WORKERS: usize = 8;
+
+/// Best candidate of one scan (chunk): `(index, ehvi, posterior)`, `None`
+/// when every candidate in range was ineligible.
+type ScanBest = Option<(usize, f64, BiGaussian)>;
 
 /// One evaluated point: input coordinates (unit-cube scaled) and the two
 /// measured objective values `(objective 0, objective 1)` — in BoFL,
@@ -49,7 +61,7 @@ impl Default for StoppingRule {
 }
 
 /// Configuration of the MBO engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MoboConfig {
     /// Surrogate-model configuration (one GP per objective; the paper
     /// uses independent Matérn-5/2 GPs).
@@ -59,6 +71,17 @@ pub struct MoboConfig {
     pub reference_padding: f64,
     /// Stopping rule parameters.
     pub stopping: StoppingRule,
+    /// Full multi-start hyperparameter refits run on the first fit and
+    /// whenever at least this many observations arrived since the last
+    /// full refit. In between, fits warm-start from the cached optimum
+    /// with a single Nelder–Mead restart ([`bofl_gp::GpConfig::warm_start`]).
+    /// `0` behaves like `1` (every fit is a full refit).
+    pub refit_every: usize,
+    /// Worker threads for the per-slot candidate scan in
+    /// [`MoboEngine::suggest`]. `0` picks
+    /// `min(available_parallelism, 8)`. The suggestion batch is
+    /// byte-identical at any worker count.
+    pub scan_workers: usize,
 }
 
 impl Default for MoboConfig {
@@ -67,8 +90,19 @@ impl Default for MoboConfig {
             gp: GpConfig::default(),
             reference_padding: 0.05,
             stopping: StoppingRule::default(),
+            refit_every: 8,
+            scan_workers: 0,
         }
     }
+}
+
+/// Cached hyperparameter optimum from the previous surrogate fit of one
+/// objective, plus the bookkeeping that drives the refit schedule.
+#[derive(Debug, Clone)]
+struct WarmCache {
+    hypers: WarmStart,
+    /// Observation count at the most recent *full* multi-start fit.
+    full_fit_len: usize,
 }
 
 /// The multi-objective Bayesian optimization engine (the paper's "MBO
@@ -92,6 +126,8 @@ pub struct MoboEngine {
     reference: Option<[f64; 2]>,
     hv_history: Vec<f64>,
     last_suggest_duration: Option<Duration>,
+    /// Per-objective warm-start cache (hyperparameters of the last fit).
+    warm: [Option<WarmCache>; 2],
 }
 
 impl MoboEngine {
@@ -104,6 +140,7 @@ impl MoboEngine {
             reference: None,
             hv_history: Vec::new(),
             last_suggest_duration: None,
+            warm: [None, None],
         }
     }
 
@@ -246,70 +283,47 @@ impl MoboEngine {
     /// fails.
     pub fn suggest(&mut self, k: usize, candidates: &[Vec<f64>]) -> Result<Vec<usize>, MoboError> {
         let start = Instant::now();
-        if candidates.is_empty() {
-            return Err(MoboError::NoCandidates);
-        }
-        let need = 4;
-        if self.observations.len() < need {
-            return Err(MoboError::NotEnoughObservations {
-                have: self.observations.len(),
-                need,
-            });
-        }
-        let dim = self.dim.expect("observations imply a dimension");
-        for c in candidates {
-            if c.len() != dim {
-                return Err(MoboError::DimensionMismatch {
-                    expected: dim,
-                    got: c.len(),
-                });
-            }
-            if c.iter().any(|v| !v.is_finite()) {
-                return Err(MoboError::NonFinite);
-            }
-        }
-        let r = self.reference().expect("observations imply a reference");
+        let r = self.validate_suggest_inputs(candidates)?;
 
-        let xs: Vec<Vec<f64>> = self.observations.iter().map(|o| o.point.clone()).collect();
-        let y0: Vec<f64> = self.observations.iter().map(|o| o.objectives[0]).collect();
-        let y1: Vec<f64> = self.observations.iter().map(|o| o.objectives[1]).collect();
+        let (mut gp0, mut gp1) = self.fit_surrogates()?;
 
-        let mut gp0 = GaussianProcess::fit(&xs, &y0, self.config.gp)?;
-        let mut gp1 = GaussianProcess::fit(&xs, &y1, self.config.gp)?;
-
-        let mut front = self.pareto_front();
-        let mut chosen: Vec<usize> = Vec::with_capacity(k);
-        let observed: std::collections::HashSet<Vec<u64>> = self
+        // Precompute everything invariant across slots: the observed-point
+        // hash set, candidate eligibility, and the worker count.
+        let observed: HashSet<Vec<u64>> = self
             .observations
             .iter()
             .map(|o| hash_point(&o.point))
             .collect();
+        let eligible: Vec<bool> = candidates
+            .iter()
+            .map(|c| !observed.contains(&hash_point(c)))
+            .collect();
+        let workers = self.scan_worker_count(candidates.len());
+
+        let mut front = self.pareto_front();
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        let mut chosen_set: HashSet<usize> = HashSet::with_capacity(k);
 
         for _ in 0..k {
-            let mut best: Option<(usize, f64, BiGaussian)> = None;
-            for (i, c) in candidates.iter().enumerate() {
-                if chosen.contains(&i) || observed.contains(&hash_point(c)) {
-                    continue;
-                }
-                let p0 = gp0.predict(c)?;
-                let p1 = gp1.predict(c)?;
-                let post = BiGaussian {
-                    mean0: p0.mean,
-                    std0: p0.std(),
-                    mean1: p1.mean,
-                    std1: p1.std(),
-                };
-                let e = expected_hypervolume_improvement(&front, post, r);
-                if best.as_ref().is_none_or(|(_, be, _)| e > *be) {
-                    best = Some((i, e, post));
-                }
-            }
+            let cells = EhviCells::new(&front, r);
+            let best = scan_candidates(
+                &gp0,
+                &gp1,
+                &cells,
+                candidates,
+                &eligible,
+                &chosen_set,
+                workers,
+            )?;
             let Some((i, _, post)) = best else {
                 break; // candidate set exhausted
             };
             chosen.push(i);
+            chosen_set.insert(i);
             // Kriging believer: fantasize the posterior mean as the
             // observation and condition both models on it (§4.3 step 2).
+            // `condition_on` extends the Cholesky factor in place (O(n²)),
+            // so the whole batch costs O(k·n²) instead of O(k·n³).
             gp0 = gp0.condition_on(&candidates[i], post.mean0)?;
             gp1 = gp1.condition_on(&candidates[i], post.mean1)?;
             front.insert([post.mean0, post.mean1]);
@@ -334,6 +348,41 @@ impl MoboEngine {
         candidates: &[Vec<f64>],
     ) -> Result<Vec<usize>, MoboError> {
         let start = Instant::now();
+        let r = self.validate_suggest_inputs(candidates)?;
+
+        let (gp0, gp1) = self.fit_surrogates()?;
+        let front = self.pareto_front();
+        let cells = EhviCells::new(&front, r);
+        let observed: HashSet<Vec<u64>> = self
+            .observations
+            .iter()
+            .map(|o| hash_point(&o.point))
+            .collect();
+
+        let p0 = gp0.predict_batch(candidates)?;
+        let p1 = gp1.predict_batch(candidates)?;
+        let mut scored: Vec<(usize, f64)> = Vec::new();
+        for (i, c) in candidates.iter().enumerate() {
+            if observed.contains(&hash_point(c)) {
+                continue;
+            }
+            let post = BiGaussian {
+                mean0: p0[i].mean,
+                std0: p0[i].std(),
+                mean1: p1[i].mean,
+                std1: p1[i].std(),
+            };
+            scored.push((i, cells.evaluate(post)));
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("EHVI values are finite"));
+        scored.truncate(k);
+        self.last_suggest_duration = Some(start.elapsed());
+        Ok(scored.into_iter().map(|(i, _)| i).collect())
+    }
+
+    /// Shared validation prologue of [`MoboEngine::suggest`] and
+    /// [`MoboEngine::suggest_no_fantasy`]. Returns the reference point.
+    fn validate_suggest_inputs(&self, candidates: &[Vec<f64>]) -> Result<[f64; 2], MoboError> {
         if candidates.is_empty() {
             return Err(MoboError::NoCandidates);
         }
@@ -356,40 +405,152 @@ impl MoboEngine {
                 return Err(MoboError::NonFinite);
             }
         }
-        let r = self.reference().expect("observations imply a reference");
+        Ok(self.reference().expect("observations imply a reference"))
+    }
 
+    /// Fits both objective surrogates, warm-starting from the cached
+    /// hyperparameter optimum per the refit schedule: the first fit and
+    /// any fit at least `refit_every` observations after the last full
+    /// refit run the configured multi-start search; fits in between seed
+    /// Nelder–Mead from the previous optimum with a single restart.
+    fn fit_surrogates(&mut self) -> Result<(GaussianProcess, GaussianProcess), MoboError> {
         let xs: Vec<Vec<f64>> = self.observations.iter().map(|o| o.point.clone()).collect();
         let y0: Vec<f64> = self.observations.iter().map(|o| o.objectives[0]).collect();
         let y1: Vec<f64> = self.observations.iter().map(|o| o.objectives[1]).collect();
-        let gp0 = GaussianProcess::fit(&xs, &y0, self.config.gp)?;
-        let gp1 = GaussianProcess::fit(&xs, &y1, self.config.gp)?;
-        let front = self.pareto_front();
-        let observed: std::collections::HashSet<Vec<u64>> = self
-            .observations
-            .iter()
-            .map(|o| hash_point(&o.point))
-            .collect();
+        let gp0 = self.fit_one(0, &xs, &y0)?;
+        let gp1 = self.fit_one(1, &xs, &y1)?;
+        Ok((gp0, gp1))
+    }
 
-        let mut scored: Vec<(usize, f64)> = Vec::new();
-        for (i, c) in candidates.iter().enumerate() {
-            if observed.contains(&hash_point(c)) {
+    fn fit_one(
+        &mut self,
+        obj: usize,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+    ) -> Result<GaussianProcess, MoboError> {
+        let n = xs.len();
+        let mut cfg = self.config.gp.clone();
+        let mut full = true;
+        if let Some(cache) = &self.warm[obj] {
+            cfg.warm_start = Some(cache.hypers.clone());
+            if n < cache.full_fit_len + self.config.refit_every.max(1) {
+                // Warm path: seed from the previous optimum, one restart.
+                cfg.restarts = cfg.restarts.min(1);
+                full = false;
+            }
+        }
+        let gp = GaussianProcess::fit(xs, ys, cfg)?;
+        let full_fit_len = match (&self.warm[obj], full) {
+            (Some(cache), false) => cache.full_fit_len,
+            _ => n,
+        };
+        self.warm[obj] = Some(WarmCache {
+            hypers: WarmStart {
+                variance: gp.kernel().variance(),
+                lengthscales: gp.kernel().lengthscales().to_vec(),
+                noise: gp.noise_variance(),
+            },
+            full_fit_len,
+        });
+        Ok(gp)
+    }
+
+    /// Resolves the scan worker count: the configured value, or
+    /// `min(available_parallelism, 8)` when `scan_workers == 0`, clamped
+    /// so no worker gets an empty chunk. Small scans stay serial.
+    fn scan_worker_count(&self, candidates: usize) -> usize {
+        if candidates < MIN_PARALLEL_SCAN {
+            return 1;
+        }
+        let w = match self.config.scan_workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_AUTO_WORKERS),
+            w => w,
+        };
+        w.min(candidates).max(1)
+    }
+}
+
+/// One slot of the sequential-greedy scan: EHVI-score every eligible
+/// candidate under the current fantasized models and return the argmax
+/// `(index, ehvi, posterior)`.
+///
+/// The scan is split into `workers` contiguous chunks, each handled by a
+/// scoped thread via [`GaussianProcess::predict_batch`]. Determinism is
+/// by construction: every candidate's score is a pure function of its
+/// coordinates (no cross-candidate accumulation), each chunk keeps its
+/// *first* strict maximum, and chunks are reduced in ascending order with
+/// a `(ehvi, Reverse(index))` comparison — so the result is byte-identical
+/// at any worker count.
+fn scan_candidates(
+    gp0: &GaussianProcess,
+    gp1: &GaussianProcess,
+    cells: &EhviCells,
+    candidates: &[Vec<f64>],
+    eligible: &[bool],
+    chosen: &HashSet<usize>,
+    workers: usize,
+) -> Result<ScanBest, MoboError> {
+    let scan_chunk = |lo: usize, hi: usize| -> Result<ScanBest, MoboError> {
+        if lo >= hi {
+            return Ok(None);
+        }
+        let p0 = gp0.predict_batch(&candidates[lo..hi])?;
+        let p1 = gp1.predict_batch(&candidates[lo..hi])?;
+        let mut best: ScanBest = None;
+        for (off, (a, b)) in p0.iter().zip(&p1).enumerate() {
+            let i = lo + off;
+            if !eligible[i] || chosen.contains(&i) {
                 continue;
             }
-            let p0 = gp0.predict(c)?;
-            let p1 = gp1.predict(c)?;
             let post = BiGaussian {
-                mean0: p0.mean,
-                std0: p0.std(),
-                mean1: p1.mean,
-                std1: p1.std(),
+                mean0: a.mean,
+                std0: a.std(),
+                mean1: b.mean,
+                std1: b.std(),
             };
-            scored.push((i, expected_hypervolume_improvement(&front, post, r)));
+            let e = cells.evaluate(post);
+            if best.as_ref().is_none_or(|(_, be, _)| e > *be) {
+                best = Some((i, e, post));
+            }
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("EHVI values are finite"));
-        scored.truncate(k);
-        self.last_suggest_duration = Some(start.elapsed());
-        Ok(scored.into_iter().map(|(i, _)| i).collect())
+        Ok(best)
+    };
+
+    let chunk_results: Vec<Result<ScanBest, MoboError>> = if workers <= 1 {
+        vec![scan_chunk(0, candidates.len())]
+    } else {
+        let chunk = candidates.len().div_ceil(workers);
+        let scan_chunk = &scan_chunk;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(candidates.len());
+                    scope.spawn(move || scan_chunk(lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker must not panic"))
+                .collect()
+        })
+    };
+
+    let mut best: ScanBest = None;
+    for res in chunk_results {
+        let Some((i, e, post)) = res? else { continue };
+        let better = match &best {
+            None => true,
+            Some((bi, be, _)) => e > *be || (e == *be && i < *bi),
+        };
+        if better {
+            best = Some((i, e, post));
+        }
     }
+    Ok(best)
 }
 
 /// Bit-exact hash key for a point (used to dedup candidates vs

@@ -3,7 +3,9 @@
 use bofl_mobo::ehvi::{expected_hypervolume_improvement, BiGaussian};
 use bofl_mobo::hypervolume::{hypervolume, hypervolume_improvement};
 use bofl_mobo::pareto::dominates;
-use bofl_mobo::{pareto_front_indices, ParetoFront, SobolSequence};
+use bofl_mobo::{
+    pareto_front_indices, MoboConfig, MoboEngine, Observation, ParetoFront, SobolSequence,
+};
 use proptest::prelude::*;
 
 fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<[f64; 2]>> {
@@ -107,6 +109,34 @@ proptest! {
         let eb = expected_hypervolume_improvement(&front, better, r);
         prop_assert!(e >= 0.0);
         prop_assert!(eb + 1e-12 >= e, "shifting means down must not reduce EHVI ({e} -> {eb})");
+    }
+
+    /// The parallel candidate scan is deterministic: `suggest` returns a
+    /// byte-identical batch whether the scan runs on one worker or eight
+    /// (the candidate count exceeds the serial-scan threshold, so the
+    /// eight-worker run genuinely takes the scoped-thread path).
+    #[test]
+    fn suggest_is_identical_across_worker_counts(
+        ys in proptest::collection::vec(0.02f64..0.98, 5..10),
+        n_cand in 80usize..200,
+    ) {
+        let mut batches = Vec::new();
+        for workers in [1usize, 8] {
+            let mut engine = MoboEngine::new(MoboConfig {
+                scan_workers: workers,
+                ..MoboConfig::default()
+            });
+            for &x in &ys {
+                engine
+                    .observe(Observation::new(vec![x], [x * x, (1.0 - x) * (1.0 - x)]))
+                    .unwrap();
+            }
+            let candidates: Vec<Vec<f64>> = (0..n_cand)
+                .map(|i| vec![i as f64 / (n_cand - 1) as f64])
+                .collect();
+            batches.push(engine.suggest(8, &candidates).unwrap());
+        }
+        prop_assert_eq!(&batches[0], &batches[1]);
     }
 
     /// Sobol points remain within the unit cube for any dimension and

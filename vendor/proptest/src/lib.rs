@@ -296,7 +296,14 @@ pub mod test_runner {
         fn default() -> Self {
             // Upstream defaults to 256; 48 keeps the hermetic suite quick
             // while still exercising each property across a real spread.
-            ProptestConfig { cases: 48 }
+            // Like upstream, `PROPTEST_CASES` overrides the default so CI
+            // stress jobs can dial the case count up without code changes.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(48);
+            ProptestConfig { cases }
         }
     }
 
