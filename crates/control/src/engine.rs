@@ -1,0 +1,454 @@
+//! [`EventDrivenEngine`]: the event-driven implementation of `bofl_fl`'s
+//! [`RoundEngine`] seam.
+//!
+//! The barrier engines (`SequentialEngine`, `FleetEngine`) treat a round
+//! as a join: every selected client runs to completion, then the server
+//! aggregates whatever survived. This engine replays the same round as a
+//! *timeline of events* against a [`ControlPlane`]:
+//!
+//! 1. **Churn sweep** — before selection takes effect, clients scheduled
+//!    to rejoin the fleet this round `Join`, and departing clients that
+//!    were not selected `Depart` immediately.
+//! 2. **Admission** — each selected client transitions
+//!    `Idle → Selected → Training`. A client that is absent (churned
+//!    away) cannot be admitted: the engine refuses the `Select` and
+//!    synthesizes a dropped, zero-energy outcome instead.
+//! 3. **Execution** — runnable jobs go through an inner [`FleetEngine`]
+//!    worker pool (same fault injection, same retry arithmetic, same
+//!    per-`(client, round)` seeds).
+//! 4. **Delivery** — outcomes are replayed in *virtual arrival order*:
+//!    `t_report = round_start + duration + Σ retry backoffs`, ties broken
+//!    by client id. The first deliveries to satisfy the aggregation
+//!    policy's close target close the round; anything aggregatable that
+//!    arrives after the close is marked `late` and dropped.
+//! 5. **Reset** — at the round's close every settled client returns to
+//!    `Idle` (or `Departed`, if it churned away mid-round).
+//!
+//! Because virtual arrival times are derived from simulated durations and
+//! seeded backoff draws — never from the wall clock — the journal this
+//! produces is byte-identical at any worker count.
+
+use std::sync::{Arc, Mutex};
+
+use bofl_fl::client::FlClient;
+use bofl_fl::engine::{ClientJob, ClientOutcome, RoundEngine};
+use bofl_fl::network::RetryPolicy;
+use bofl_fl::server::AggregationPolicy;
+use bofl_fleet::engine::upload_backoff_seed;
+use bofl_fleet::fault::{ChurnStatus, FaultPlan};
+use bofl_fleet::FleetEngine;
+
+use crate::journal::EventCause;
+use crate::plane::ControlPlane;
+use crate::state::{ClientEvent, ClientState, TransitionError};
+
+/// A shared, lockable handle onto an engine's [`ControlPlane`]. The
+/// federation owns the boxed engine, so callers that want to read the
+/// journal after a run keep one of these.
+pub type PlaneHandle = Arc<Mutex<ControlPlane>>;
+
+/// An event-driven round engine: a [`FleetEngine`] worker pool for
+/// execution, a [`ControlPlane`] for lifecycle bookkeeping, and
+/// quorum-based round closes instead of a barrier join.
+#[derive(Debug, Clone)]
+pub struct EventDrivenEngine {
+    inner: FleetEngine,
+    /// Nominal cohort size for the close target; `0` disables early
+    /// closes entirely (the engine then behaves as a journalling barrier).
+    cohort: usize,
+    policy: AggregationPolicy,
+    plane: PlaneHandle,
+    /// Virtual clock: simulated seconds since the run began. Advances to
+    /// each round's close time.
+    now_s: f64,
+    label: String,
+}
+
+impl EventDrivenEngine {
+    /// An event-driven engine executing on `workers` OS threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        EventDrivenEngine {
+            inner: FleetEngine::new(workers),
+            cohort: 0,
+            policy: AggregationPolicy::none(),
+            plane: Arc::new(Mutex::new(ControlPlane::new(0))),
+            now_s: 0.0,
+            label: format!("event-driven({workers} workers)"),
+        }
+    }
+
+    /// The single-threaded variant (reference for determinism checks).
+    pub fn sequential() -> Self {
+        let mut engine = EventDrivenEngine::new(1);
+        engine.label = "event-driven(sequential)".to_string();
+        engine
+    }
+
+    /// Attaches a fault-injection plan (including churn, which only this
+    /// engine acts on — barrier engines ignore churn draws).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.inner = self.inner.with_faults(faults);
+        self
+    }
+
+    /// Attaches an upload retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.inner = self.inner.with_retry(retry);
+        self
+    }
+
+    /// Enables quorum-based round closes: once
+    /// [`AggregationPolicy::close_target`] updates for a nominal cohort of
+    /// `clients_per_round` have been accepted, the round closes and any
+    /// update still in flight lands late. Pass the same policy and cohort
+    /// the federation was configured with.
+    #[must_use]
+    pub fn with_close_policy(
+        mut self,
+        policy: AggregationPolicy,
+        clients_per_round: usize,
+    ) -> Self {
+        self.policy = policy;
+        self.cohort = clients_per_round;
+        self
+    }
+
+    /// Bounds the event journal ring (default
+    /// [`crate::journal::DEFAULT_JOURNAL_CAPACITY`]).
+    #[must_use]
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.plane = Arc::new(Mutex::new(ControlPlane::with_journal_capacity(0, capacity)));
+        self
+    }
+
+    /// A handle onto the control plane, for reading the journal and round
+    /// closes after the federation has taken ownership of the engine.
+    pub fn plane(&self) -> PlaneHandle {
+        Arc::clone(&self.plane)
+    }
+
+    /// Worker threads in the inner pool.
+    pub fn workers(&self) -> usize {
+        self.inner.workers()
+    }
+
+    fn faults(&self) -> &FaultPlan {
+        self.inner.faults()
+    }
+
+    /// Total retry backoff a finished client waited before its final
+    /// upload attempt — pure in `(round, client, attempts)`, mirroring
+    /// the arithmetic inside [`FleetEngine`]'s retry loop.
+    fn waited_s(&self, retry: &RetryPolicy, round: usize, client_id: usize, attempts: u32) -> f64 {
+        if attempts <= 1 {
+            return 0.0;
+        }
+        let seed = upload_backoff_seed(round, client_id);
+        (1..attempts).map(|a| retry.backoff_s(a, seed)).sum()
+    }
+}
+
+/// Transitions the engine emits are derived from its own bookkeeping, so
+/// a contract violation here is an engine bug, not bad input.
+fn must(result: Result<ClientState, TransitionError>) -> ClientState {
+    result.unwrap_or_else(|e| panic!("control-plane invariant broken: {e}"))
+}
+
+/// A zero-energy outcome for a client that could not participate (absent
+/// from the fleet when the server selected it).
+fn absent_outcome(job: &ClientJob) -> ClientOutcome {
+    ClientOutcome {
+        client_id: job.client_id,
+        result: bofl_fl::client::ClientRoundResult {
+            parameters: Vec::new(),
+            samples: 0,
+            deadline_met: false,
+            energy_j: 0.0,
+            duration_s: 0.0,
+            last_loss: 0.0,
+            phase: None,
+            escalated_jobs: 0,
+            quarantined: 0,
+            suggest_ms: 0.0,
+        },
+        dropped: true,
+        straggler_factor: 1.0,
+        upload_failed: false,
+        upload_attempts: 1,
+        late: false,
+    }
+}
+
+impl RoundEngine for EventDrivenEngine {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn run_batch(
+        &mut self,
+        clients: &mut [FlClient],
+        global: &[f64],
+        jobs: &[ClientJob],
+    ) -> Vec<ClientOutcome> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let round = jobs[0].round;
+        let t0 = self.now_s;
+        let retry = *self.inner.retry();
+        let faults = *self.faults();
+        let plane = Arc::clone(&self.plane);
+        let mut plane = plane.lock().expect("control plane poisoned");
+        plane.ensure_clients(clients.len());
+
+        // 1. Churn sweep (id order, all at round start). Clients due back
+        //    rejoin; departing clients that were not selected leave now.
+        //    Departing clients that *were* selected stay for one last
+        //    round of training — their update is lost mid-flight below.
+        let selected: Vec<bool> = {
+            let mut s = vec![false; clients.len()];
+            for job in jobs {
+                s[job.client_id] = true;
+            }
+            s
+        };
+        let mut departing = vec![false; clients.len()];
+        for id in 0..clients.len() {
+            let status = faults.churn_status(round, id);
+            if plane.state(id) == ClientState::Departed && status != ChurnStatus::Absent {
+                must(plane.apply(id, ClientEvent::Join, EventCause::ChurnArrival, round, t0));
+            }
+            if status == ChurnStatus::Departing {
+                if selected[id] {
+                    departing[id] = true;
+                } else if plane.state(id) == ClientState::Idle {
+                    must(plane.apply(
+                        id,
+                        ClientEvent::Depart,
+                        EventCause::ChurnDeparture,
+                        round,
+                        t0,
+                    ));
+                }
+            }
+        }
+
+        // 2. Admission (id order). Absent clients cannot be selected —
+        //    the engine refuses without journalling anything and answers
+        //    the server with a synthetic dropped outcome.
+        let mut synthetic: Vec<ClientOutcome> = Vec::new();
+        let mut runnable: Vec<ClientJob> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if plane.state(job.client_id) == ClientState::Departed {
+                synthetic.push(absent_outcome(job));
+                continue;
+            }
+            must(plane.apply(
+                job.client_id,
+                ClientEvent::Select,
+                EventCause::Selection,
+                round,
+                t0,
+            ));
+            must(plane.apply(
+                job.client_id,
+                ClientEvent::Start,
+                EventCause::RoundStart,
+                round,
+                t0,
+            ));
+            runnable.push(*job);
+        }
+
+        // 3. Execution through the inner worker pool. Outcomes come back
+        //    sorted by client id regardless of scheduling.
+        let mut outcomes = if runnable.is_empty() {
+            Vec::new()
+        } else {
+            self.inner.run_batch(clients, global, &runnable)
+        };
+
+        // 4a. Training-phase transitions (id order, at each client's
+        //     virtual finish time t_fin = t0 + duration).
+        let mut reporting: Vec<(f64, usize)> = Vec::new(); // (t_report, index into outcomes)
+        let mut t_end = t0;
+        for (idx, (out, job)) in outcomes.iter_mut().zip(&runnable).enumerate() {
+            let id = out.client_id;
+            let t_fin = t0 + out.result.duration_s;
+            if out.result.escalated_jobs > 0 {
+                must(plane.apply(
+                    id,
+                    ClientEvent::Escalate,
+                    EventCause::GuardianEscalation,
+                    round,
+                    t_fin,
+                ));
+            }
+            if out.result.quarantined > 0 {
+                must(plane.apply(
+                    id,
+                    ClientEvent::Quarantine,
+                    EventCause::ObservationQuarantine,
+                    round,
+                    t_fin,
+                ));
+            }
+            if departing[id] {
+                // Mid-round churn: the client trained, but nobody is left
+                // to deliver (or receive credit for) the update.
+                out.dropped = true;
+                must(plane.apply(
+                    id,
+                    ClientEvent::Drop,
+                    EventCause::ChurnDeparture,
+                    round,
+                    t_fin,
+                ));
+            } else if out.dropped {
+                let cause = if job.dropped {
+                    EventCause::ServerDropout
+                } else {
+                    EventCause::FaultDropout
+                };
+                must(plane.apply(id, ClientEvent::Drop, cause, round, t_fin));
+            } else if !out.result.deadline_met {
+                must(plane.apply(
+                    id,
+                    ClientEvent::Drop,
+                    EventCause::DeadlineMiss,
+                    round,
+                    t_fin,
+                ));
+            } else {
+                must(plane.apply(
+                    id,
+                    ClientEvent::Finish,
+                    EventCause::TrainingComplete,
+                    round,
+                    t_fin,
+                ));
+                let t_report = t_fin + self.waited_s(&retry, round, id, out.upload_attempts);
+                reporting.push((t_report, idx));
+            }
+            t_end = t_end.max(t_fin);
+        }
+
+        // 4b. Delivery (virtual arrival order: t_report, then id). The
+        //     round closes the moment the aggregation policy's close
+        //     target is met; aggregatable updates arriving after that are
+        //     late — dropped with cause `round_closed`.
+        reporting.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| outcomes[a.1].client_id.cmp(&outcomes[b.1].client_id))
+        });
+        let close_target = if self.cohort > 0 {
+            Some(self.policy.close_target(self.cohort))
+        } else {
+            None
+        };
+        let mut accepted = 0usize;
+        let mut closed_at: Option<f64> = None;
+        for (t_report, idx) in reporting {
+            let out = &mut outcomes[idx];
+            let id = out.client_id;
+            if out.upload_failed {
+                must(plane.apply(
+                    id,
+                    ClientEvent::Drop,
+                    EventCause::UploadFailure,
+                    round,
+                    t_report,
+                ));
+            } else if closed_at.is_some() {
+                out.late = true;
+                must(plane.apply(
+                    id,
+                    ClientEvent::Drop,
+                    EventCause::RoundClosed,
+                    round,
+                    t_report,
+                ));
+            } else {
+                let cause = if out.upload_attempts > 1 {
+                    EventCause::UploadRecovered
+                } else {
+                    EventCause::UploadDelivered
+                };
+                must(plane.apply(id, ClientEvent::Accept, cause, round, t_report));
+                accepted += 1;
+                if close_target.is_some_and(|target| accepted >= target) {
+                    closed_at = Some(t_report);
+                }
+            }
+            t_end = t_end.max(t_report);
+        }
+
+        // 5. Close the round and reset (id order, at the close time).
+        let t_close = closed_at.unwrap_or(t_end);
+        let quorum = self.policy.quorum(self.cohort);
+        // "Early" means the close actually cut something off: work with a
+        // later virtual time was still outstanding when the target was
+        // met. A close that lands on the round's final event is just the
+        // barrier behavior with bookkeeping.
+        let closed_early = closed_at.is_some_and(|t| t < t_end);
+        plane.close_round(round, t_close, accepted, quorum, closed_early);
+        for (id, &leaving) in departing.iter().enumerate() {
+            match plane.state(id) {
+                ClientState::Dropped if leaving => {
+                    must(plane.apply(
+                        id,
+                        ClientEvent::Depart,
+                        EventCause::ChurnDeparture,
+                        round,
+                        t_end,
+                    ));
+                }
+                ClientState::Aggregated | ClientState::Dropped => {
+                    must(plane.apply(id, ClientEvent::Reset, EventCause::RoundReset, round, t_end));
+                }
+                ClientState::Idle | ClientState::Departed => {}
+                other => panic!("client {id} still `{other}` at round close"),
+            }
+        }
+        self.now_s = t_end;
+
+        // Merge synthetic (absent) outcomes back in and restore id order.
+        outcomes.extend(synthetic);
+        outcomes.sort_by_key(|o| o.client_id);
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_wire_the_inner_engine() {
+        let engine = EventDrivenEngine::new(4)
+            .with_faults(FaultPlan::new(3).with_dropout(0.2))
+            .with_retry(RetryPolicy::recovery())
+            .with_close_policy(AggregationPolicy::recovery(), 4)
+            .with_journal_capacity(128);
+        assert_eq!(engine.workers(), 4);
+        assert_eq!(engine.label(), "event-driven(4 workers)");
+        assert_eq!(engine.plane().lock().unwrap().journal().capacity(), 128);
+    }
+
+    #[test]
+    fn waited_reconstruction_matches_the_retry_loop() {
+        let engine = EventDrivenEngine::sequential().with_retry(RetryPolicy::recovery());
+        let retry = RetryPolicy::recovery();
+        let seed = upload_backoff_seed(3, 7);
+        // attempts = 3 means backoffs before retries 1 and 2 were waited.
+        let expect = retry.backoff_s(1, seed) + retry.backoff_s(2, seed);
+        assert!((engine.waited_s(&retry, 3, 7, 3) - expect).abs() < 1e-12);
+        assert_eq!(engine.waited_s(&retry, 3, 7, 1), 0.0);
+    }
+}

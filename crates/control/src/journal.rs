@@ -1,0 +1,366 @@
+//! The bounded event journal.
+//!
+//! Every successful transition the control plane applies is appended
+//! here as an [`EventEntry`]: a monotonically increasing sequence
+//! number, the round, the client, the `(from, to)` edge, a semantic
+//! [`EventCause`], and a *virtual* timestamp in simulated seconds. The
+//! ring is bounded — old entries are evicted once `capacity` is reached —
+//! but sequence numbers never reset, so a reader can always tell whether
+//! (and how much of) the prefix was evicted.
+//!
+//! Timestamps are virtual, derived from simulated training durations and
+//! retry backoff, never from the wall clock. That is what makes the
+//! journal byte-identical across worker counts: the OS scheduler decides
+//! when a worker thread *computes* an outcome, but not when the modelled
+//! update would have *arrived*.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
+
+use crate::state::ClientState;
+
+/// Default journal capacity: comfortably holds several hundred rounds of
+/// a mid-size cohort before eviction begins.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// Why a transition happened — the semantic tag alongside the raw
+/// `(from, to)` edge, so exports stay interpretable without cross-
+/// referencing engine internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventCause {
+    /// Churn: the client rejoined the fleet.
+    ChurnArrival = 0,
+    /// Churn: the client left the fleet.
+    ChurnDeparture = 1,
+    /// The server invited the client into the round.
+    Selection = 2,
+    /// Training began.
+    RoundStart = 3,
+    /// The deadline guardian escalated the remaining jobs mid-round.
+    GuardianEscalation = 4,
+    /// The controller quarantined contaminated observations.
+    ObservationQuarantine = 5,
+    /// Local training finished; the update entered the uplink.
+    TrainingComplete = 6,
+    /// The update arrived on the first upload attempt.
+    UploadDelivered = 7,
+    /// The update arrived after at least one upload retry.
+    UploadRecovered = 8,
+    /// The server's own dropout draw removed the client pre-round.
+    ServerDropout = 9,
+    /// The fault plan's dropout draw removed the client mid-round.
+    FaultDropout = 10,
+    /// Training overran the round deadline.
+    DeadlineMiss = 11,
+    /// Every upload attempt within the retry budget failed.
+    UploadFailure = 12,
+    /// The update arrived after the round had closed on its quorum.
+    RoundClosed = 13,
+    /// End-of-round housekeeping returned the client to the pool.
+    RoundReset = 14,
+}
+
+impl EventCause {
+    /// Stable lowercase name (journal CSV/JSONL vocabulary).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventCause::ChurnArrival => "churn_arrival",
+            EventCause::ChurnDeparture => "churn_departure",
+            EventCause::Selection => "selection",
+            EventCause::RoundStart => "round_start",
+            EventCause::GuardianEscalation => "guardian_escalation",
+            EventCause::ObservationQuarantine => "observation_quarantine",
+            EventCause::TrainingComplete => "training_complete",
+            EventCause::UploadDelivered => "upload_delivered",
+            EventCause::UploadRecovered => "upload_recovered",
+            EventCause::ServerDropout => "server_dropout",
+            EventCause::FaultDropout => "fault_dropout",
+            EventCause::DeadlineMiss => "deadline_miss",
+            EventCause::UploadFailure => "upload_failure",
+            EventCause::RoundClosed => "round_closed",
+            EventCause::RoundReset => "round_reset",
+        }
+    }
+}
+
+impl std::fmt::Display for EventCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One journalled transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventEntry {
+    /// Monotonic sequence number; survives ring eviction.
+    pub seq: u64,
+    /// Federation round the transition belongs to.
+    pub round: u32,
+    /// Client id.
+    pub client: u32,
+    /// State before the transition.
+    pub from: ClientState,
+    /// State after the transition.
+    pub to: ClientState,
+    /// Semantic reason for the transition.
+    pub cause: EventCause,
+    /// Virtual timestamp, simulated seconds since the run began.
+    pub t_s: f64,
+}
+
+impl EventEntry {
+    /// The entry as one CSV row (no trailing newline).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.6}",
+            self.seq,
+            self.round,
+            self.client,
+            self.from.as_str(),
+            self.to.as_str(),
+            self.cause.as_str(),
+            self.t_s
+        )
+    }
+
+    /// The entry as one JSON object (no trailing newline). Hand-rolled:
+    /// every field is numeric or from a fixed lowercase vocabulary, so
+    /// no escaping is needed.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"round\":{},\"client\":{},\"from\":\"{}\",\"to\":\"{}\",\"cause\":\"{}\",\"t_s\":{:.6}}}",
+            self.seq,
+            self.round,
+            self.client,
+            self.from.as_str(),
+            self.to.as_str(),
+            self.cause.as_str(),
+            self.t_s
+        )
+    }
+}
+
+/// How a round ended: the quorum bookkeeping the server consults when it
+/// decides whether the global step is usable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundClose {
+    /// The round that closed.
+    pub round: u32,
+    /// Virtual close time (seconds since the run began).
+    pub t_s: f64,
+    /// Updates accepted into the aggregate.
+    pub accepted: usize,
+    /// The minimum acceptances the aggregation policy demanded.
+    pub quorum: usize,
+    /// Whether `accepted >= quorum`.
+    pub quorum_met: bool,
+    /// Whether the round closed on its aggregation target while work
+    /// with a later virtual time was still outstanding (in practice only
+    /// possible with over-selection; a close landing on the round's final
+    /// event is just the barrier behavior).
+    pub closed_early: bool,
+}
+
+/// A bounded ring of [`EventEntry`] with a never-resetting sequence
+/// counter.
+#[derive(Debug, Clone)]
+pub struct EventJournal {
+    entries: VecDeque<EventEntry>,
+    capacity: usize,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl EventJournal {
+    /// An empty journal with the given ring capacity (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventJournal {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Append one transition, evicting the oldest entry if the ring is
+    /// full. Returns the sequence number assigned to the entry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn append(
+        &mut self,
+        round: u32,
+        client: u32,
+        from: ClientState,
+        to: ClientState,
+        cause: EventCause,
+        t_s: f64,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(EventEntry {
+            seq,
+            round,
+            client,
+            from,
+            to,
+            cause,
+            t_s,
+        });
+        seq
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &EventEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total transitions ever journalled (including evicted ones).
+    pub fn total_appended(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Entries evicted from the front of the ring so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Count `(arrivals, departures)` churn events recorded for `round`.
+    pub fn churn_counts(&self, round: u32) -> (usize, usize) {
+        let mut arrivals = 0;
+        let mut departures = 0;
+        for e in self.entries.iter().filter(|e| e.round == round) {
+            match e.cause {
+                EventCause::ChurnArrival => arrivals += 1,
+                EventCause::ChurnDeparture => departures += 1,
+                _ => {}
+            }
+        }
+        (arrivals, departures)
+    }
+
+    /// The whole journal as CSV (header + one row per entry).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("seq,round,client,from,to,cause,t_s\n");
+        for e in &self.entries {
+            out.push_str(&e.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The whole journal as JSONL (one JSON object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV export, creating parent directories as needed.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Write the JSONL export, creating parent directories as needed.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ClientState as S;
+
+    fn entry(journal: &mut EventJournal, seq_hint: u32) -> u64 {
+        journal.append(
+            seq_hint,
+            seq_hint,
+            S::Idle,
+            S::Selected,
+            EventCause::Selection,
+            seq_hint as f64,
+        )
+    }
+
+    #[test]
+    fn sequence_numbers_survive_eviction() {
+        let mut j = EventJournal::with_capacity(2);
+        for i in 0..5 {
+            let seq = entry(&mut j, i);
+            assert_eq!(seq, i as u64);
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.evicted(), 3);
+        assert_eq!(j.total_appended(), 5);
+        let seqs: Vec<u64> = j.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn csv_and_jsonl_have_fixed_shape() {
+        let mut j = EventJournal::default();
+        j.append(
+            2,
+            7,
+            S::Reporting,
+            S::Aggregated,
+            EventCause::UploadDelivered,
+            12.5,
+        );
+        assert_eq!(
+            j.to_csv(),
+            "seq,round,client,from,to,cause,t_s\n0,2,7,reporting,aggregated,upload_delivered,12.500000\n"
+        );
+        assert_eq!(
+            j.to_jsonl(),
+            "{\"seq\":0,\"round\":2,\"client\":7,\"from\":\"reporting\",\"to\":\"aggregated\",\"cause\":\"upload_delivered\",\"t_s\":12.500000}\n"
+        );
+    }
+
+    #[test]
+    fn churn_counts_filter_by_round() {
+        let mut j = EventJournal::default();
+        j.append(0, 1, S::Idle, S::Departed, EventCause::ChurnDeparture, 0.0);
+        j.append(1, 1, S::Departed, S::Idle, EventCause::ChurnArrival, 1.0);
+        j.append(1, 2, S::Idle, S::Departed, EventCause::ChurnDeparture, 1.0);
+        j.append(1, 3, S::Idle, S::Selected, EventCause::Selection, 1.0);
+        assert_eq!(j.churn_counts(0), (0, 1));
+        assert_eq!(j.churn_counts(1), (1, 1));
+        assert_eq!(j.churn_counts(2), (0, 0));
+    }
+}

@@ -1,0 +1,81 @@
+//! **bofl-control** — an event-driven federation control plane for BoFL.
+//!
+//! The barrier engines in `bofl-fl`/`bofl-fleet` treat a round as a join:
+//! run every selected client, then aggregate the survivors. This crate
+//! re-frames the same round as a *timeline of lifecycle events*:
+//!
+//! - [`state`] — every client is an explicit `#[repr(u8)]` state machine
+//!   (`Idle → Selected → Training → Reporting → Aggregated`, with
+//!   `Dropped`, `Escalated`, `Quarantined` and `Departed` as ordinary
+//!   transitions, not special cases). Illegal `(state, event)` pairs are
+//!   typed [`TransitionError`]s — never panics.
+//! - [`journal`] — every transition appends a timestamped [`EventEntry`]
+//!   to a bounded [`EventJournal`] ring with a never-resetting sequence
+//!   counter, exportable as CSV or JSONL next to the fleet-metrics CSV.
+//! - [`plane`] — [`ControlPlane`] holds the fleet's state vector,
+//!   enforces the transition contract, journals what it applies, and can
+//!   [`ControlPlane::replay`] a journal to reconstruct final states.
+//! - [`engine`] — [`EventDrivenEngine`] implements `bofl_fl`'s
+//!   `RoundEngine` seam: execution still runs on a deterministic
+//!   `bofl-fleet` worker pool, but rounds *close on quorum events* (the
+//!   first `close_target` accepted reports, in virtual arrival order)
+//!   instead of waiting for every straggler, and churn (clients joining
+//!   and leaving the fleet mid-run, even mid-round) is handled as
+//!   ordinary transitions.
+//! - [`sim`] — [`ControlSimulation`], the one-stop builder mirroring
+//!   `bofl_fleet::FleetSimulation`.
+//!
+//! Virtual timestamps are derived from simulated durations and seeded
+//! retry backoffs — never the wall clock — so for a fixed fleet seed the
+//! journal is **byte-identical at any worker count**.
+//!
+//! # Example
+//!
+//! ```
+//! use bofl_control::prelude::*;
+//! use bofl_fl::server::{AggregationPolicy, FederationConfig};
+//!
+//! let spec = FleetSpec::mixed(12, 7);
+//! let mut sim = ControlSimulation::builder(spec)
+//!     .federation(FederationConfig {
+//!         clients_per_round: 4,
+//!         rounds: 2,
+//!         seed: 7,
+//!         aggregation: AggregationPolicy::recovery(),
+//!         ..FederationConfig::default()
+//!     })
+//!     .workers(4)
+//!     .faults(FaultPlan::new(1).with_churn(0.05, 2))
+//!     .build();
+//! let report = sim.run();
+//! assert_eq!(report.closes.len(), 2);
+//! // The same run at any worker count journals the identical events.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod journal;
+pub mod plane;
+pub mod sim;
+pub mod state;
+
+pub use engine::{EventDrivenEngine, PlaneHandle};
+pub use journal::{EventCause, EventEntry, EventJournal, RoundClose, DEFAULT_JOURNAL_CAPACITY};
+pub use plane::{ControlPlane, ReplayError};
+pub use sim::{ControlRunReport, ControlSimulation, ControlSimulationBuilder};
+pub use state::{ClientEvent, ClientState, TransitionError};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::engine::{EventDrivenEngine, PlaneHandle};
+    pub use crate::journal::{EventCause, EventEntry, EventJournal, RoundClose};
+    pub use crate::plane::{ControlPlane, ReplayError};
+    pub use crate::sim::{ControlRunReport, ControlSimulation, ControlSimulationBuilder};
+    pub use crate::state::{ClientEvent, ClientState, TransitionError};
+    pub use bofl_fl::network::RetryPolicy;
+    pub use bofl_fl::server::AggregationPolicy;
+    pub use bofl_fleet::fault::{ChurnStatus, FaultPlan};
+    pub use bofl_fleet::generator::FleetSpec;
+}

@@ -1,0 +1,304 @@
+//! The control plane: the fleet's state vector plus its event journal.
+//!
+//! [`ControlPlane`] is deliberately dumb — it owns *no* policy. It knows
+//! the current [`ClientState`] of every client, refuses transitions
+//! outside the contract with a typed [`TransitionError`], and journals
+//! every transition it does apply. All decisions about *which* events to
+//! emit (quorum closes, churn, retries) live in the engine; all rules
+//! about which transitions are legal live in [`ClientState::next`].
+
+use crate::journal::{EventCause, EventEntry, EventJournal, RoundClose};
+use crate::state::{ClientEvent, ClientState, TransitionError};
+
+/// Tracks every client's lifecycle state and journals transitions.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    states: Vec<ClientState>,
+    journal: EventJournal,
+    closes: Vec<RoundClose>,
+}
+
+impl ControlPlane {
+    /// A plane over `clients` clients, all starting [`ClientState::Idle`],
+    /// with the default journal capacity.
+    pub fn new(clients: usize) -> Self {
+        ControlPlane {
+            states: vec![ClientState::Idle; clients],
+            journal: EventJournal::default(),
+            closes: Vec::new(),
+        }
+    }
+
+    /// Same, with an explicit journal ring capacity.
+    pub fn with_journal_capacity(clients: usize, capacity: usize) -> Self {
+        ControlPlane {
+            states: vec![ClientState::Idle; clients],
+            journal: EventJournal::with_capacity(capacity),
+            closes: Vec::new(),
+        }
+    }
+
+    /// Grow the tracked fleet to at least `clients` entries (new clients
+    /// start Idle). Shrinking is never done — ids are stable.
+    pub fn ensure_clients(&mut self, clients: usize) {
+        if self.states.len() < clients {
+            self.states.resize(clients, ClientState::Idle);
+        }
+    }
+
+    /// Number of clients tracked.
+    pub fn num_clients(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Current state of one client.
+    ///
+    /// # Panics
+    /// If `client` is out of range.
+    pub fn state(&self, client: usize) -> ClientState {
+        self.states[client]
+    }
+
+    /// The full state vector, indexed by client id.
+    pub fn states(&self) -> &[ClientState] {
+        &self.states
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Every round close recorded so far, in round order.
+    pub fn closes(&self) -> &[RoundClose] {
+        &self.closes
+    }
+
+    /// Apply `event` to `client`, journalling the transition on success.
+    /// An illegal `(state, event)` pair leaves both the state vector and
+    /// the journal untouched and returns the typed error.
+    pub fn apply(
+        &mut self,
+        client: usize,
+        event: ClientEvent,
+        cause: EventCause,
+        round: usize,
+        t_s: f64,
+    ) -> Result<ClientState, TransitionError> {
+        let from = self.states[client];
+        let to = from.next(event).ok_or(TransitionError {
+            client,
+            from,
+            event,
+        })?;
+        self.states[client] = to;
+        self.journal
+            .append(round as u32, client as u32, from, to, cause, t_s);
+        Ok(to)
+    }
+
+    /// Record how a round ended.
+    pub fn close_round(
+        &mut self,
+        round: usize,
+        t_s: f64,
+        accepted: usize,
+        quorum: usize,
+        closed_early: bool,
+    ) {
+        self.closes.push(RoundClose {
+            round: round as u32,
+            t_s,
+            accepted,
+            quorum,
+            quorum_met: accepted >= quorum,
+            closed_early,
+        });
+    }
+
+    /// Replay a journal slice over a fresh fleet of `clients` Idle
+    /// clients and return the reconstructed state vector. Each entry's
+    /// `from` must match the reconstructed current state and its
+    /// `(from, event)` edge must be legal — the entry's `to` is derived
+    /// from the contract, not trusted. Used by tests to prove the
+    /// journal alone determines final states.
+    pub fn replay<'a>(
+        entries: impl IntoIterator<Item = &'a EventEntry>,
+        clients: usize,
+    ) -> Result<Vec<ClientState>, ReplayError> {
+        let mut states = vec![ClientState::Idle; clients];
+        for e in entries {
+            let id = e.client as usize;
+            if id >= clients {
+                return Err(ReplayError::UnknownClient {
+                    seq: e.seq,
+                    client: id,
+                });
+            }
+            let current = states[id];
+            if current != e.from {
+                return Err(ReplayError::StateMismatch {
+                    seq: e.seq,
+                    client: id,
+                    expected: e.from,
+                    actual: current,
+                });
+            }
+            // Recover the event from the edge: the contract is sparse
+            // enough that each (from, to) pair maps to one event.
+            let event = ClientEvent::ALL
+                .into_iter()
+                .find(|ev| current.next(*ev) == Some(e.to))
+                .ok_or(ReplayError::IllegalEdge {
+                    seq: e.seq,
+                    client: id,
+                    from: e.from,
+                    to: e.to,
+                })?;
+            states[id] = current.next(event).expect("edge just validated");
+        }
+        Ok(states)
+    }
+}
+
+/// Why a journal replay was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// An entry referenced a client id outside the fleet.
+    UnknownClient {
+        /// Sequence number of the offending entry.
+        seq: u64,
+        /// The out-of-range client id.
+        client: usize,
+    },
+    /// An entry's `from` state disagreed with the reconstruction.
+    StateMismatch {
+        /// Sequence number of the offending entry.
+        seq: u64,
+        /// The client whose state diverged.
+        client: usize,
+        /// The state the entry claimed.
+        expected: ClientState,
+        /// The state the reconstruction holds.
+        actual: ClientState,
+    },
+    /// An entry's `(from, to)` edge has no event in the contract.
+    IllegalEdge {
+        /// Sequence number of the offending entry.
+        seq: u64,
+        /// The client with the illegal edge.
+        client: usize,
+        /// The claimed source state.
+        from: ClientState,
+        /// The claimed destination state.
+        to: ClientState,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::UnknownClient { seq, client } => {
+                write!(f, "entry {seq}: unknown client {client}")
+            }
+            ReplayError::StateMismatch {
+                seq,
+                client,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "entry {seq}: client {client} claimed state `{expected}` but replay holds `{actual}`"
+            ),
+            ReplayError::IllegalEdge {
+                seq,
+                client,
+                from,
+                to,
+            } => write!(
+                f,
+                "entry {seq}: client {client} edge `{from}` -> `{to}` is not in the contract"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{ClientEvent as E, ClientState as S};
+
+    #[test]
+    fn apply_journals_legal_transitions_only() {
+        let mut plane = ControlPlane::new(2);
+        plane
+            .apply(0, E::Select, EventCause::Selection, 0, 0.0)
+            .unwrap();
+        let err = plane
+            .apply(1, E::Accept, EventCause::UploadDelivered, 0, 0.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransitionError {
+                client: 1,
+                from: S::Idle,
+                event: E::Accept
+            }
+        );
+        assert_eq!(plane.state(0), S::Selected);
+        assert_eq!(plane.state(1), S::Idle);
+        assert_eq!(plane.journal().len(), 1);
+    }
+
+    #[test]
+    fn replay_reconstructs_final_states() {
+        let mut plane = ControlPlane::new(3);
+        for (client, event, cause) in [
+            (0usize, E::Select, EventCause::Selection),
+            (0, E::Start, EventCause::RoundStart),
+            (0, E::Finish, EventCause::TrainingComplete),
+            (0, E::Accept, EventCause::UploadDelivered),
+            (1, E::Depart, EventCause::ChurnDeparture),
+            (2, E::Select, EventCause::Selection),
+            (2, E::Drop, EventCause::ServerDropout),
+        ] {
+            plane.apply(client, event, cause, 0, 0.0).unwrap();
+        }
+        let entries: Vec<EventEntry> = plane.journal().iter().copied().collect();
+        let rebuilt = ControlPlane::replay(entries.iter(), 3).unwrap();
+        assert_eq!(rebuilt, plane.states());
+    }
+
+    #[test]
+    fn replay_rejects_tampered_entries() {
+        let mut plane = ControlPlane::new(1);
+        plane
+            .apply(0, E::Select, EventCause::Selection, 0, 0.0)
+            .unwrap();
+        let mut entries: Vec<EventEntry> = plane.journal().iter().copied().collect();
+        entries[0].from = S::Training;
+        assert!(matches!(
+            ControlPlane::replay(entries.iter(), 1),
+            Err(ReplayError::StateMismatch { .. })
+        ));
+        entries[0].from = S::Idle;
+        entries[0].to = S::Aggregated;
+        assert!(matches!(
+            ControlPlane::replay(entries.iter(), 1),
+            Err(ReplayError::IllegalEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn close_round_records_quorum_bookkeeping() {
+        let mut plane = ControlPlane::new(4);
+        plane.close_round(0, 30.0, 3, 2, true);
+        plane.close_round(1, 61.5, 1, 2, false);
+        assert_eq!(plane.closes().len(), 2);
+        assert!(plane.closes()[0].quorum_met);
+        assert!(plane.closes()[0].closed_early);
+        assert!(!plane.closes()[1].quorum_met);
+    }
+}

@@ -1,0 +1,299 @@
+//! The high-level event-driven simulation: fleet generator + event-driven
+//! engine + metrics + journal in one builder, mirroring
+//! `bofl_fleet::FleetSimulation` so the two harnesses read the same way.
+
+use crate::engine::{EventDrivenEngine, PlaneHandle};
+use crate::journal::{EventJournal, RoundClose};
+use bofl::task::PaceController;
+use bofl_fl::network::RetryPolicy;
+use bofl_fl::server::{Federation, FederationConfig, RunHistory};
+use bofl_fleet::fault::FaultPlan;
+use bofl_fleet::generator::FleetSpec;
+use bofl_fleet::metrics::FleetMetrics;
+use std::path::Path;
+
+/// A ready-to-run event-driven fleet simulation. Build one with
+/// [`ControlSimulation::builder`].
+pub struct ControlSimulation {
+    federation: Federation,
+    plane: PlaneHandle,
+    rounds: usize,
+}
+
+impl std::fmt::Debug for ControlSimulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlSimulation")
+            .field("clients", &self.federation.num_clients())
+            .field("rounds", &self.rounds)
+            .field("engine", &self.federation.engine_label())
+            .finish()
+    }
+}
+
+impl ControlSimulation {
+    /// Starts building a simulation over the given fleet.
+    pub fn builder(spec: FleetSpec) -> ControlSimulationBuilder {
+        let config = FederationConfig {
+            num_clients: spec.num_clients,
+            seed: spec.seed,
+            ..FederationConfig::default()
+        };
+        ControlSimulationBuilder {
+            spec,
+            config,
+            workers: 1,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::none(),
+            controller_factory: None,
+            journal_capacity: None,
+        }
+    }
+
+    /// Runs all rounds, collecting fleet metrics and annotating each
+    /// round's churn counts from the event journal.
+    pub fn run(&mut self) -> ControlRunReport {
+        let mut metrics = FleetMetrics::new();
+        let mut rounds = Vec::with_capacity(self.rounds);
+        for round in 0..self.rounds {
+            let (record, outcomes) = self.federation.run_round_detailed(round);
+            metrics.record(&record, &outcomes);
+            let (arrivals, departures) = self
+                .plane
+                .lock()
+                .expect("control plane poisoned")
+                .journal()
+                .churn_counts(round as u32);
+            metrics.annotate_churn(round, arrivals, departures);
+            rounds.push(record);
+        }
+        let plane = self.plane.lock().expect("control plane poisoned");
+        ControlRunReport {
+            history: RunHistory { rounds },
+            metrics,
+            journal: plane.journal().clone(),
+            closes: plane.closes().to_vec(),
+        }
+    }
+
+    /// The underlying federation (e.g. for inspecting clients).
+    pub fn federation(&self) -> &Federation {
+        &self.federation
+    }
+
+    /// A live handle onto the engine's control plane.
+    pub fn plane(&self) -> PlaneHandle {
+        PlaneHandle::clone(&self.plane)
+    }
+}
+
+/// What an event-driven run produces: FedAvg history, fleet metrics, the
+/// event journal, and every round-close record.
+#[derive(Debug, Clone)]
+pub struct ControlRunReport {
+    /// Per-round FedAvg records (selection, accuracy, energy).
+    pub history: RunHistory,
+    /// Per-round fleet distributions, fault counts and churn annotations.
+    pub metrics: FleetMetrics,
+    /// The event journal at the end of the run.
+    pub journal: EventJournal,
+    /// How each round closed (quorum bookkeeping).
+    pub closes: Vec<RoundClose>,
+}
+
+impl ControlRunReport {
+    /// Total fleet energy, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.history.total_energy_j()
+    }
+
+    /// Final global-model test accuracy.
+    pub fn final_accuracy(&self) -> f64 {
+        self.history.final_accuracy()
+    }
+
+    /// Rounds that closed early on their quorum target.
+    pub fn early_closes(&self) -> usize {
+        self.closes.iter().filter(|c| c.closed_early).count()
+    }
+
+    /// Writes the run's artifacts into `dir`: `metrics.csv` (fleet
+    /// metrics with churn columns), `journal.csv` and `journal.jsonl`
+    /// (the event journal).
+    pub fn write_artifacts(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        self.metrics.write_csv(&dir.join("metrics.csv"))?;
+        self.journal.write_csv(&dir.join("journal.csv"))?;
+        self.journal.write_jsonl(&dir.join("journal.jsonl"))
+    }
+}
+
+/// A per-client pace-controller factory: client id → controller.
+type ControllerFactory = Box<dyn Fn(usize) -> Box<dyn PaceController>>;
+
+/// Builder for [`ControlSimulation`].
+pub struct ControlSimulationBuilder {
+    spec: FleetSpec,
+    config: FederationConfig,
+    workers: usize,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    controller_factory: Option<ControllerFactory>,
+    journal_capacity: Option<usize>,
+}
+
+impl std::fmt::Debug for ControlSimulationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlSimulationBuilder")
+            .field("spec", &self.spec)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl ControlSimulationBuilder {
+    /// Overrides the federation configuration. `num_clients` is forced to
+    /// the fleet spec's population size. The configuration's
+    /// [`bofl_fl::server::AggregationPolicy`] doubles as the engine's
+    /// round-close policy.
+    #[must_use]
+    pub fn federation(mut self, config: FederationConfig) -> Self {
+        self.config = FederationConfig {
+            num_clients: self.spec.num_clients,
+            ..config
+        };
+        self
+    }
+
+    /// Sets the worker-thread count (default 1 = sequential).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Attaches a fault-injection plan (churn included).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches an upload retry policy (defaults to
+    /// [`RetryPolicy::none`]).
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the per-client pace-controller factory (client id →
+    /// controller; defaults to the Performant baseline).
+    #[must_use]
+    pub fn controller_factory(
+        mut self,
+        f: impl Fn(usize) -> Box<dyn PaceController> + 'static,
+    ) -> Self {
+        self.controller_factory = Some(Box::new(f));
+        self
+    }
+
+    /// Bounds the event journal ring.
+    #[must_use]
+    pub fn journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = Some(capacity);
+        self
+    }
+
+    /// Builds the simulation.
+    pub fn build(self) -> ControlSimulation {
+        let spec = self.spec;
+        let mut engine = EventDrivenEngine::new(self.workers.max(1))
+            .with_faults(self.faults)
+            .with_retry(self.retry)
+            .with_close_policy(self.config.aggregation, self.config.clients_per_round);
+        if let Some(capacity) = self.journal_capacity {
+            engine = engine.with_journal_capacity(capacity);
+        }
+        let plane = engine.plane();
+        let rounds = self.config.rounds;
+        let mut builder = Federation::builder(self.config)
+            .device_factory(move |id| spec.device(id))
+            .engine(engine);
+        if let Some(f) = self.controller_factory {
+            builder = builder.controller_factory(f);
+        }
+        ControlSimulation {
+            federation: builder.build(),
+            plane,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> FleetSpec {
+        FleetSpec::mixed(6, 21)
+    }
+
+    fn quick_config() -> FederationConfig {
+        FederationConfig {
+            clients_per_round: 3,
+            rounds: 3,
+            classes: 3,
+            feature_dims: 6,
+            seed: 21,
+            ..FederationConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulation_runs_and_journals() {
+        let mut sim = ControlSimulation::builder(quick_spec())
+            .federation(quick_config())
+            .workers(2)
+            .build();
+        let report = sim.run();
+        assert_eq!(report.history.rounds.len(), 3);
+        assert_eq!(report.closes.len(), 3);
+        assert!(report.total_energy_j() > 0.0);
+        // 3 selected clients × (select + start + finish + accept + reset)
+        // per healthy round = 15 events/round minimum.
+        assert!(report.journal.len() >= 45);
+    }
+
+    #[test]
+    fn healthy_runs_match_the_barrier_fleet_history() {
+        use bofl_fleet::sim::FleetSimulation;
+        let event = ControlSimulation::builder(quick_spec())
+            .federation(quick_config())
+            .workers(2)
+            .build()
+            .run();
+        let barrier = FleetSimulation::builder(quick_spec())
+            .federation(quick_config())
+            .workers(2)
+            .build()
+            .run();
+        assert_eq!(event.history, barrier.history);
+        assert_eq!(event.early_closes(), 0);
+    }
+
+    #[test]
+    fn artifacts_land_on_disk() {
+        let mut sim = ControlSimulation::builder(quick_spec())
+            .federation(quick_config())
+            .build();
+        let report = sim.run();
+        let dir = std::env::temp_dir().join(format!("bofl-control-sim-{}", std::process::id()));
+        report.write_artifacts(&dir).unwrap();
+        let journal = std::fs::read_to_string(dir.join("journal.csv")).unwrap();
+        assert!(journal.starts_with("seq,round,client,from,to,cause,t_s\n"));
+        let metrics = std::fs::read_to_string(dir.join("metrics.csv")).unwrap();
+        assert!(metrics.contains("churn_arrivals"));
+        assert!(dir.join("journal.jsonl").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,183 @@
+//! The transition contract, pinned exhaustively.
+//!
+//! Every `(state, event)` pair — all 90 of them — is classified as either
+//! a legal edge with a known destination or an illegal pair that must
+//! come back as a typed `TransitionError` without panicking. The legal
+//! set below is the *complete* contract: adding or removing an edge in
+//! `ClientState::next` fails this test until the table here (and in
+//! DESIGN.md) is updated to match.
+
+use bofl_control::prelude::*;
+use bofl_control::{plane::ControlPlane, ReplayError};
+use proptest::prelude::*;
+
+use ClientEvent as E;
+use ClientState as S;
+
+/// The complete legal-edge table: `(from, event, to)`.
+const LEGAL: [(S, E, S); 19] = [
+    (S::Idle, E::Select, S::Selected),
+    (S::Idle, E::Depart, S::Departed),
+    (S::Selected, E::Start, S::Training),
+    (S::Selected, E::Drop, S::Dropped),
+    (S::Training, E::Escalate, S::Escalated),
+    (S::Training, E::Quarantine, S::Quarantined),
+    (S::Training, E::Finish, S::Reporting),
+    (S::Training, E::Drop, S::Dropped),
+    (S::Escalated, E::Quarantine, S::Quarantined),
+    (S::Escalated, E::Finish, S::Reporting),
+    (S::Escalated, E::Drop, S::Dropped),
+    (S::Quarantined, E::Finish, S::Reporting),
+    (S::Quarantined, E::Drop, S::Dropped),
+    (S::Reporting, E::Accept, S::Aggregated),
+    (S::Reporting, E::Drop, S::Dropped),
+    (S::Aggregated, E::Reset, S::Idle),
+    (S::Dropped, E::Reset, S::Idle),
+    (S::Dropped, E::Depart, S::Departed),
+    (S::Departed, E::Join, S::Idle),
+];
+
+fn expected(from: S, event: E) -> Option<S> {
+    LEGAL
+        .iter()
+        .find(|(f, e, _)| *f == from && *e == event)
+        .map(|(_, _, to)| *to)
+}
+
+#[test]
+fn every_state_event_pair_matches_the_table() {
+    let mut legal = 0;
+    for from in S::ALL {
+        for event in E::ALL {
+            assert_eq!(
+                from.next(event),
+                expected(from, event),
+                "contract mismatch at ({from}, {event})"
+            );
+            if from.next(event).is_some() {
+                legal += 1;
+            }
+        }
+    }
+    assert_eq!(
+        legal,
+        LEGAL.len(),
+        "the table must be the complete contract"
+    );
+    assert_eq!(S::ALL.len() * E::ALL.len(), 90);
+}
+
+#[test]
+fn illegal_pairs_error_through_the_plane_without_panicking() {
+    for from in S::ALL {
+        for event in E::ALL {
+            if expected(from, event).is_some() {
+                continue;
+            }
+            // Walk a fresh plane into `from`, then hit it with `event`.
+            let mut plane = ControlPlane::new(1);
+            drive_to(&mut plane, from);
+            let before = plane.journal().total_appended();
+            let err = plane
+                .apply(0, event, EventCause::Selection, 0, 0.0)
+                .expect_err("illegal pair must be refused");
+            assert_eq!(
+                err,
+                TransitionError {
+                    client: 0,
+                    from,
+                    event
+                }
+            );
+            assert_eq!(plane.state(0), from, "refusal must not move the state");
+            assert_eq!(
+                plane.journal().total_appended(),
+                before,
+                "refusal must not journal"
+            );
+        }
+    }
+}
+
+/// Drive client 0 of a fresh plane from Idle into `target` along legal
+/// edges only.
+fn drive_to(plane: &mut ControlPlane, target: S) {
+    let path: &[E] = match target {
+        S::Idle => &[],
+        S::Selected => &[E::Select],
+        S::Training => &[E::Select, E::Start],
+        S::Escalated => &[E::Select, E::Start, E::Escalate],
+        S::Quarantined => &[E::Select, E::Start, E::Quarantine],
+        S::Reporting => &[E::Select, E::Start, E::Finish],
+        S::Aggregated => &[E::Select, E::Start, E::Finish, E::Accept],
+        S::Dropped => &[E::Select, E::Drop],
+        S::Departed => &[E::Depart],
+    };
+    for &event in path {
+        plane
+            .apply(0, event, EventCause::Selection, 0, 0.0)
+            .expect("setup path is legal");
+    }
+    assert_eq!(plane.state(0), target);
+}
+
+#[test]
+fn terminal_states_do_not_exist() {
+    // Every state must have at least one outgoing edge: the lifecycle
+    // never wedges a client permanently.
+    for from in S::ALL {
+        assert!(
+            E::ALL.iter().any(|&e| from.next(e).is_some()),
+            "state {from} has no outgoing edges"
+        );
+    }
+}
+
+/// A strategy producing random event sequences; applying them through a
+/// plane (ignoring refusals) yields an arbitrary reachable journal.
+fn random_events() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    proptest::collection::vec((0usize..4, 0u8..10), 0..200)
+}
+
+proptest! {
+    /// Replaying any reachable journal over a fresh fleet reconstructs
+    /// exactly the final state vector — the journal alone carries the
+    /// whole lifecycle history.
+    #[test]
+    fn replay_reconstructs_final_states(events in random_events()) {
+        let mut plane = ControlPlane::new(4);
+        for (client, raw) in events {
+            let event = E::ALL[raw as usize];
+            // Refusals are fine: we only care that what *was* journalled
+            // replays exactly.
+            let _ = plane.apply(client, event, EventCause::Selection, 0, 0.0);
+        }
+        let entries: Vec<EventEntry> = plane.journal().iter().copied().collect();
+        let rebuilt = ControlPlane::replay(entries.iter(), 4)
+            .expect("a journal the plane wrote must replay");
+        prop_assert_eq!(rebuilt.as_slice(), plane.states());
+    }
+
+    /// Tampering with a journalled `from` state is always detected.
+    #[test]
+    fn replay_rejects_corrupted_from(events in random_events(), victim in 0usize..200) {
+        let mut plane = ControlPlane::new(4);
+        for (client, raw) in events {
+            let _ = plane.apply(client, E::ALL[raw as usize], EventCause::Selection, 0, 0.0);
+        }
+        let mut entries: Vec<EventEntry> = plane.journal().iter().copied().collect();
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let victim = victim % entries.len();
+        // Flip `from` to a state it wasn't — a prefix mismatch must
+        // surface as StateMismatch (or IllegalEdge if the forged edge is
+        // impossible outright).
+        let forged = S::ALL[(entries[victim].from as usize + 1) % S::ALL.len()];
+        entries[victim].from = forged;
+        prop_assert!(matches!(
+            ControlPlane::replay(entries.iter(), 4),
+            Err(ReplayError::StateMismatch { .. }) | Err(ReplayError::IllegalEdge { .. })
+        ));
+    }
+}

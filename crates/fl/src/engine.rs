@@ -86,13 +86,19 @@ pub struct ClientOutcome {
     /// Upload attempts made (`1` = first try succeeded or no retry policy
     /// was active; `> 1` = the retry machinery fired).
     pub upload_attempts: u32,
+    /// Whether the update was delivered *after* the round had already
+    /// closed on its quorum of earlier reports. Barrier engines never set
+    /// this; an event-driven engine closes a round as soon as its
+    /// aggregation target is met, and anything still in flight lands late.
+    pub late: bool,
 }
 
 impl ClientOutcome {
     /// Whether the server may aggregate this update: training met its
-    /// deadline and the update actually arrived.
+    /// deadline, the update actually arrived, and it arrived while the
+    /// round was still open.
     pub fn aggregatable(&self) -> bool {
-        self.result.deadline_met && !self.dropped && !self.upload_failed
+        self.result.deadline_met && !self.dropped && !self.upload_failed && !self.late
     }
 
     /// Whether the client failed its deadline (a straggler in the paper's
@@ -127,6 +133,7 @@ pub fn run_client_job(client: &mut FlClient, global: &[f64], job: &ClientJob) ->
         straggler_factor: job.slowdown,
         upload_failed: false,
         upload_attempts: 1,
+        late: false,
     }
 }
 

@@ -98,6 +98,17 @@ impl AggregationPolicy {
         }
         ((clients_per_round as f64 * self.quorum_fraction).ceil() as usize).max(1)
     }
+
+    /// The event-driven round-close target: once this many updates have
+    /// been aggregated, an open round stops waiting for the stragglers
+    /// still in flight. The target is the nominal cohort (never below the
+    /// quorum), so with over-selection a round can close the moment a full
+    /// cohort has reported — which is only ever *earlier* than the barrier
+    /// join. Without over-selection every selected client is needed to
+    /// reach the target, and the close degenerates to the barrier.
+    pub fn close_target(&self, clients_per_round: usize) -> usize {
+        clients_per_round.max(self.quorum(clients_per_round))
+    }
 }
 
 impl Default for AggregationPolicy {

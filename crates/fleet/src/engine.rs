@@ -22,6 +22,15 @@ use bofl_fl::network::RetryPolicy;
 use std::sync::{mpsc, Mutex};
 use std::thread;
 
+/// The seed the upload-retry backoff stream for `(round, client)` is
+/// drawn from. Shared with the event-driven engine in `bofl-control` so
+/// both engines reconstruct identical retry timelines from the same
+/// outcome.
+pub fn upload_backoff_seed(round: usize, client_id: usize) -> u64 {
+    (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
 /// A parallel round engine with a fixed-size worker pool and optional
 /// fault injection.
 #[derive(Debug, Clone)]
@@ -114,8 +123,7 @@ impl FleetEngine {
         // trace stays byte-identical at any worker count.
         if out.upload_failed && !self.retry.is_none() && !out.dropped && out.result.deadline_met {
             let budget = (job.deadline.limit_s() - out.result.duration_s).max(0.0);
-            let backoff_seed = (job.round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                ^ (job.client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            let backoff_seed = upload_backoff_seed(job.round, job.client_id);
             let mut waited_s = 0.0;
             while out.upload_failed && out.upload_attempts < self.retry.max_attempts {
                 let wait = self.retry.backoff_s(out.upload_attempts, backoff_seed);

@@ -32,6 +32,28 @@ impl FaultDraw {
     }
 }
 
+/// A client's churn standing in one round, derived from the plan's
+/// departure draws (pure in `(round, client)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnStatus {
+    /// In the fleet, as usual.
+    Present,
+    /// In the fleet at round start but leaving mid-round: any update it
+    /// was producing is lost, and it is absent from the next round on.
+    Departing,
+    /// Out of the fleet entirely (not selectable, trains nothing).
+    Absent,
+    /// Rejoining the fleet this round after an absence.
+    Arriving,
+}
+
+impl ChurnStatus {
+    /// Whether the client participates in this round at all.
+    pub fn is_present(&self) -> bool {
+        !matches!(self, ChurnStatus::Absent)
+    }
+}
+
 /// Probabilities and magnitudes of injected faults, plus the seed that
 /// makes every draw a pure function of `(round, client)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +63,8 @@ pub struct FaultPlan {
     straggler_probability: f64,
     straggler_slowdown: (f64, f64),
     upload_failure_probability: f64,
+    churn_departure_probability: f64,
+    churn_absence_rounds: usize,
 }
 
 impl FaultPlan {
@@ -52,6 +76,8 @@ impl FaultPlan {
             straggler_probability: 0.0,
             straggler_slowdown: (1.0, 1.0),
             upload_failure_probability: 0.0,
+            churn_departure_probability: 0.0,
+            churn_absence_rounds: 0,
         }
     }
 
@@ -105,11 +131,86 @@ impl FaultPlan {
         self
     }
 
+    /// Enables client churn: each round a present client departs with
+    /// probability `p`, stays away for `absence_rounds` further rounds,
+    /// and then rejoins. Departures happen *mid-round* — a selected
+    /// client that departs still burns energy but its update is lost.
+    /// Only event-driven engines act on churn; the barrier engines have
+    /// no way to express a client that is simply not there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_churn(mut self, p: f64, absence_rounds: usize) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.churn_departure_probability = p;
+        self.churn_absence_rounds = absence_rounds;
+        self
+    }
+
+    /// Whether this plan can ever churn a client in or out.
+    pub fn has_churn(&self) -> bool {
+        self.churn_departure_probability > 0.0
+    }
+
     /// Whether this plan can ever inject a fault.
     pub fn is_none(&self) -> bool {
         self.dropout_probability == 0.0
             && self.straggler_probability == 0.0
             && self.upload_failure_probability == 0.0
+    }
+
+    /// The raw churn-departure draw for `(round, client)` — whether a
+    /// client that is present in `round` decides to leave during it.
+    /// Pure in its arguments; uses a stream independent of
+    /// [`FaultPlan::draw`] so enabling churn never re-rolls the other
+    /// faults.
+    fn departure_draw(&self, round: usize, client_id: usize) -> bool {
+        if self.churn_departure_probability == 0.0 {
+            return false;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ 0xC0_FF_EE_15_BA_D5_EE_D5u64,
+        );
+        rng.gen::<f64>() < self.churn_departure_probability
+    }
+
+    /// The client's churn standing in `round`, replaying the departure
+    /// draws from round 0 — a pure function of `(round, client)`, so every
+    /// engine and worker count agrees on who is in the fleet when.
+    pub fn churn_status(&self, round: usize, client_id: usize) -> ChurnStatus {
+        if !self.has_churn() {
+            return ChurnStatus::Present;
+        }
+        // First round the client is present again after its last departure
+        // (0 = never departed).
+        let mut absent_until = 0usize;
+        for r in 0..=round {
+            if r < absent_until {
+                if r == round {
+                    return ChurnStatus::Absent;
+                }
+                continue;
+            }
+            let arrived = absent_until != 0 && r == absent_until;
+            if self.departure_draw(r, client_id) {
+                if r == round {
+                    return ChurnStatus::Departing;
+                }
+                absent_until = r + 1 + self.churn_absence_rounds;
+            } else if r == round {
+                return if arrived {
+                    ChurnStatus::Arriving
+                } else {
+                    ChurnStatus::Present
+                };
+            }
+        }
+        unreachable!("the loop classifies `round` before exiting")
     }
 
     /// Draws the faults for one `(round, client)` pair. Pure: the same
@@ -252,6 +353,53 @@ mod tests {
     #[should_panic(expected = "probability must be in [0, 1]")]
     fn rejects_bad_probability() {
         let _ = FaultPlan::new(0).with_dropout(1.5);
+    }
+
+    #[test]
+    fn churnless_plans_keep_everyone_present() {
+        let plan = FaultPlan::new(3).with_dropout(0.5);
+        assert!(!plan.has_churn());
+        for round in 0..6 {
+            for client in 0..6 {
+                assert_eq!(plan.churn_status(round, client), ChurnStatus::Present);
+            }
+        }
+    }
+
+    #[test]
+    fn certain_churn_cycles_depart_absent_arrive() {
+        // p = 1: depart in round 0, sit out rounds 1–2, and depart again
+        // the moment the client is back (arrival and departure can
+        // coincide; the departure wins the classification).
+        let plan = FaultPlan::new(4).with_churn(1.0, 2);
+        assert_eq!(plan.churn_status(0, 7), ChurnStatus::Departing);
+        assert_eq!(plan.churn_status(1, 7), ChurnStatus::Absent);
+        assert_eq!(plan.churn_status(2, 7), ChurnStatus::Absent);
+        assert_eq!(plan.churn_status(3, 7), ChurnStatus::Departing);
+        assert!(!ChurnStatus::Absent.is_present());
+        assert!(ChurnStatus::Departing.is_present());
+    }
+
+    #[test]
+    fn churn_statuses_are_deterministic_and_mixed() {
+        let plan = FaultPlan::new(11).with_churn(0.3, 1);
+        for round in 0..8 {
+            for client in 0..10 {
+                assert_eq!(
+                    plan.churn_status(round, client),
+                    plan.churn_status(round, client)
+                );
+            }
+        }
+        let statuses: Vec<ChurnStatus> = (0..30).map(|c| plan.churn_status(3, c)).collect();
+        assert!(statuses.iter().any(|s| *s != ChurnStatus::Present));
+        assert!(statuses.contains(&ChurnStatus::Present));
+        // Enabling churn must not re-roll the classic fault draws.
+        let base = FaultPlan::new(11).with_dropout(0.4);
+        let churned = FaultPlan::new(11).with_dropout(0.4).with_churn(0.3, 1);
+        for c in 0..20 {
+            assert_eq!(base.draw(2, c), churned.draw(2, c));
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod metrics;
 pub mod sim;
 
 pub use engine::FleetEngine;
-pub use fault::{FaultDraw, FaultPlan};
+pub use fault::{ChurnStatus, FaultDraw, FaultPlan};
 pub use generator::{ClientProfile, DeviceKind, FleetSpec};
 pub use metrics::{Distribution, FleetMetrics, FleetRoundStats};
 pub use sim::{FleetRunReport, FleetSimulation, FleetSimulationBuilder};
@@ -62,7 +62,7 @@ pub use sim::{FleetRunReport, FleetSimulation, FleetSimulationBuilder};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::engine::FleetEngine;
-    pub use crate::fault::{FaultDraw, FaultPlan};
+    pub use crate::fault::{ChurnStatus, FaultDraw, FaultPlan};
     pub use crate::generator::{ClientProfile, DeviceKind, FleetSpec};
     pub use crate::metrics::{Distribution, FleetMetrics, FleetRoundStats};
     pub use crate::sim::{FleetRunReport, FleetSimulation, FleetSimulationBuilder};

@@ -95,6 +95,12 @@ pub struct FleetRoundStats {
     /// Latency observations the clients' controllers quarantined as
     /// contaminated.
     pub quarantined: u64,
+    /// Clients that rejoined the fleet this round (churn). Derived from
+    /// the control plane's event journal; barrier engines leave it 0.
+    pub churn_arrivals: usize,
+    /// Clients that left the fleet this round (churn), mid-round or
+    /// between rounds. Journal-derived; barrier engines leave it 0.
+    pub churn_departures: usize,
     /// Clients per controller phase:
     /// `[none, random exploration, pareto construction, exploitation]`.
     pub phase_counts: [usize; 4],
@@ -145,6 +151,8 @@ impl FleetRoundStats {
             recovered_uploads: outcomes.iter().filter(|o| o.recovered_upload()).count(),
             escalated_jobs: outcomes.iter().map(|o| o.result.escalated_jobs).sum(),
             quarantined: outcomes.iter().map(|o| o.result.quarantined).sum(),
+            churn_arrivals: 0,
+            churn_departures: 0,
             phase_counts,
             suggest_ms: Distribution::of(
                 &outcomes
@@ -231,11 +239,33 @@ impl FleetMetrics {
         self.rounds.iter().map(|r| r.escalated_jobs).sum()
     }
 
+    /// Annotates an already-recorded round with journal-derived churn
+    /// counts (the engine only reports outcomes; arrivals/departures live
+    /// in the control plane's event journal). No-op if the round was
+    /// never recorded.
+    pub fn annotate_churn(&mut self, round: usize, arrivals: usize, departures: usize) {
+        if let Some(stats) = self.rounds.iter_mut().find(|r| r.round == round) {
+            stats.churn_arrivals = arrivals;
+            stats.churn_departures = departures;
+        }
+    }
+
+    /// Total churn arrivals across recorded rounds.
+    pub fn churn_arrivals(&self) -> usize {
+        self.rounds.iter().map(|r| r.churn_arrivals).sum()
+    }
+
+    /// Total churn departures across recorded rounds.
+    pub fn churn_departures(&self) -> usize {
+        self.rounds.iter().map(|r| r.churn_departures).sum()
+    }
+
     /// The CSV header this aggregator emits.
     pub const CSV_HEADER: &'static str = "round,selected,aggregated,deadline_s,\
 energy_total_j,energy_mean_j,energy_p95_j,latency_mean_s,latency_p95_s,latency_max_s,\
 miss_rate,dropouts,upload_failures,stragglers,\
 quorum,quorum_shortfall,upload_retries,recovered_uploads,escalated_jobs,quarantined,\
+churn_arrivals,churn_departures,\
 phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
 
     /// Renders all recorded rounds as CSV. Formatting is fixed-precision,
@@ -246,7 +276,7 @@ phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
         out.push('\n');
         for r in &self.rounds {
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.4}\n",
+                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.4}\n",
                 r.round,
                 r.selected,
                 r.aggregated,
@@ -267,6 +297,8 @@ phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
                 r.recovered_uploads,
                 r.escalated_jobs,
                 r.quarantined,
+                r.churn_arrivals,
+                r.churn_departures,
                 r.phase_counts[0],
                 r.phase_counts[1],
                 r.phase_counts[2],
@@ -317,6 +349,7 @@ mod tests {
             straggler_factor: 1.0,
             upload_failed: false,
             upload_attempts: 1,
+            late: false,
         }
     }
 
@@ -406,6 +439,26 @@ mod tests {
         assert!(csv.lines().next().unwrap().contains("recovered_uploads"));
         assert!(csv.lines().next().unwrap().contains("suggest_ms"));
         assert!(csv.lines().nth(1).unwrap().contains("7.250"));
+    }
+
+    #[test]
+    fn churn_annotation_surfaces_in_stats_and_csv() {
+        let mut m = FleetMetrics::new();
+        m.record(&record(0), &[outcome(0, 10.0, 5.0, true)]);
+        m.record(&record(1), &[outcome(1, 12.0, 5.5, true)]);
+        m.annotate_churn(1, 2, 3);
+        m.annotate_churn(9, 7, 7); // unknown round: ignored
+        assert_eq!(m.rounds()[0].churn_arrivals, 0);
+        assert_eq!(m.rounds()[1].churn_arrivals, 2);
+        assert_eq!(m.rounds()[1].churn_departures, 3);
+        assert_eq!(m.churn_arrivals(), 2);
+        assert_eq!(m.churn_departures(), 3);
+        let csv = m.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains("churn_arrivals"));
+        assert!(header.contains("churn_departures"));
+        let cols = header.split(',').count();
+        assert!(csv.lines().skip(1).all(|l| l.split(',').count() == cols));
     }
 
     #[test]
