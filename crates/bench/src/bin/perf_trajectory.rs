@@ -11,7 +11,10 @@
 //! - `round/fleet_barrier` vs `round/event_driven` — the same faulted
 //!   fleet simulation through the barrier `FleetEngine` and through
 //!   `bofl-control`'s `EventDrivenEngine` (lifecycle journal + quorum
-//!   closes), isolating the control plane's overhead.
+//!   closes), isolating the control plane's overhead;
+//! - `round/loopback_transport` — the event-driven run again with
+//!   updates carried over real OS-thread loopback lanes, isolating the
+//!   transport seam's overhead.
 //!
 //! ```sh
 //! cargo run --release -p bofl-bench --bin perf_trajectory
@@ -20,7 +23,7 @@
 use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use bofl_control::ControlSimulation;
+use bofl_control::{ControlSimulation, LoopbackTransport};
 use bofl_fl::server::{AggregationPolicy, FederationConfig};
 use bofl_fl::RetryPolicy;
 use bofl_fleet::{FaultPlan, FleetSimulation, FleetSpec};
@@ -130,6 +133,19 @@ fn round_loop_workloads(results: &mut Vec<BenchResult>) {
             .workers(4)
             .faults(round_faults().with_churn(0.05, 2))
             .retry(RetryPolicy::recovery())
+            .build()
+            .run();
+    });
+    // The same event-driven run with updates carried over real OS-thread
+    // loopback lanes instead of the virtual wire: isolates the cost of
+    // thread spawn + channel collection per round.
+    bench("round/loopback_transport_40c_5r_4w", results, || {
+        ControlSimulation::builder(spec)
+            .federation(round_config())
+            .workers(4)
+            .faults(round_faults().with_churn(0.05, 2))
+            .retry(RetryPolicy::recovery())
+            .transport(LoopbackTransport::new(4))
             .build()
             .run();
     });

@@ -16,17 +16,33 @@
 //! 3. **Execution** — runnable jobs go through an inner [`FleetEngine`]
 //!    worker pool (same fault injection, same retry arithmetic, same
 //!    per-`(client, round)` seeds).
-//! 4. **Delivery** — outcomes are replayed in *virtual arrival order*:
-//!    `t_report = round_start + duration + Σ retry backoffs`, ties broken
-//!    by client id. The first deliveries to satisfy the aggregation
-//!    policy's close target close the round; anything aggregatable that
-//!    arrives after the close is marked `late` and dropped.
-//! 5. **Reset** — at the round's close every settled client returns to
-//!    `Idle` (or `Departed`, if it churned away mid-round).
+//! 4. **The wire** — each finished update becomes an
+//!    [`Envelope`] sent at `t_send = round_start + duration +
+//!    Σ retry backoffs` and handed to the engine's pluggable
+//!    [`Transport`] (default [`VirtualTransport`]: arrival = send, the
+//!    pre-transport behavior). A [`crate::chaos::ChaosTransport`] can
+//!    drop, delay, duplicate, reorder, or partition the messages.
+//! 5. **The timeline** — deliveries, client-side upload failures, and
+//!    (when a [`LivenessPolicy`] is armed) suspect/expire deadlines merge
+//!    into one virtual timeline, sorted by `(time, kind, client, copy)`.
+//!    The first acceptances to satisfy the close target close the round;
+//!    anything aggregatable arriving after that is `late`. Silent clients
+//!    are suspected, then expired; an update arriving in between heals
+//!    them. When liveness concludes the close target is unreachable (all
+//!    outstanding reports lost or expired), the round *degrades*: it
+//!    closes immediately on whatever was accepted instead of waiting, and
+//!    the next round's close target widens to the full admitted cohort
+//!    (over-selection escalation), so no surviving update is cut off
+//!    while the fleet recovers.
+//! 6. **Reset** — at the round's close every settled client returns to
+//!    `Idle` (or `Departed`, if it churned away mid-round); clients the
+//!    wire never resolved are settled first (`transport_loss` /
+//!    `liveness_expired`).
 //!
-//! Because virtual arrival times are derived from simulated durations and
-//! seeded backoff draws — never from the wall clock — the journal this
-//! produces is byte-identical at any worker count.
+//! Because virtual arrival times are derived from simulated durations,
+//! seeded backoffs and seeded chaos draws — never from the wall clock —
+//! the journal this produces is byte-identical at any worker count and
+//! any transport lane count.
 
 use std::sync::{Arc, Mutex};
 
@@ -38,9 +54,12 @@ use bofl_fleet::engine::upload_backoff_seed;
 use bofl_fleet::fault::{ChurnStatus, FaultPlan};
 use bofl_fleet::FleetEngine;
 
+use crate::chaos::{ChaosPlan, ChaosTransport};
 use crate::journal::EventCause;
+use crate::liveness::LivenessPolicy;
 use crate::plane::ControlPlane;
 use crate::state::{ClientEvent, ClientState, TransitionError};
+use crate::transport::{Envelope, Transport, VirtualTransport};
 
 /// A shared, lockable handle onto an engine's [`ControlPlane`]. The
 /// federation owns the boxed engine, so callers that want to read the
@@ -48,8 +67,9 @@ use crate::state::{ClientEvent, ClientState, TransitionError};
 pub type PlaneHandle = Arc<Mutex<ControlPlane>>;
 
 /// An event-driven round engine: a [`FleetEngine`] worker pool for
-/// execution, a [`ControlPlane`] for lifecycle bookkeeping, and
-/// quorum-based round closes instead of a barrier join.
+/// execution, a pluggable [`Transport`] for delivery, a [`ControlPlane`]
+/// for lifecycle bookkeeping, and quorum-based round closes instead of a
+/// barrier join.
 #[derive(Debug, Clone)]
 pub struct EventDrivenEngine {
     inner: FleetEngine,
@@ -58,6 +78,11 @@ pub struct EventDrivenEngine {
     cohort: usize,
     policy: AggregationPolicy,
     plane: PlaneHandle,
+    transport: Box<dyn Transport>,
+    liveness: LivenessPolicy,
+    /// Over-selection escalation armed by a degraded close: the next
+    /// round's close target widens to the full admitted cohort.
+    escalated: bool,
     /// Virtual clock: simulated seconds since the run began. Advances to
     /// each round's close time.
     now_s: f64,
@@ -76,6 +101,9 @@ impl EventDrivenEngine {
             cohort: 0,
             policy: AggregationPolicy::none(),
             plane: Arc::new(Mutex::new(ControlPlane::new(0))),
+            transport: Box::new(VirtualTransport),
+            liveness: LivenessPolicy::none(),
+            escalated: false,
             now_s: 0.0,
             label: format!("event-driven({workers} workers)"),
         }
@@ -119,6 +147,37 @@ impl EventDrivenEngine {
         self
     }
 
+    /// Replaces the delivery transport (default [`VirtualTransport`]).
+    #[must_use]
+    pub fn with_transport(self, transport: impl Transport + 'static) -> Self {
+        self.with_boxed_transport(Box::new(transport))
+    }
+
+    /// [`EventDrivenEngine::with_transport`] for an already-boxed carrier.
+    #[must_use]
+    pub fn with_boxed_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Wraps the current transport in a [`ChaosTransport`] injecting the
+    /// given plan.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        let inner = std::mem::replace(&mut self.transport, Box::new(VirtualTransport));
+        self.transport = Box::new(ChaosTransport::new(inner, plan));
+        self
+    }
+
+    /// Arms server-side liveness tracking (default
+    /// [`LivenessPolicy::none`]). Required for degraded closes and
+    /// over-selection escalation.
+    #[must_use]
+    pub fn with_liveness(mut self, liveness: LivenessPolicy) -> Self {
+        self.liveness = liveness;
+        self
+    }
+
     /// Bounds the event journal ring (default
     /// [`crate::journal::DEFAULT_JOURNAL_CAPACITY`]).
     #[must_use]
@@ -136,6 +195,11 @@ impl EventDrivenEngine {
     /// Worker threads in the inner pool.
     pub fn workers(&self) -> usize {
         self.inner.workers()
+    }
+
+    /// The delivery transport's label.
+    pub fn transport_label(&self) -> &str {
+        self.transport.label()
     }
 
     fn faults(&self) -> &FaultPlan {
@@ -185,6 +249,18 @@ fn absent_outcome(job: &ClientJob) -> ClientOutcome {
     }
 }
 
+/// One entry on the round's merged virtual timeline.
+enum WireItem {
+    /// The client's final upload attempt failed on its side.
+    Failure { idx: usize },
+    /// A (possibly duplicate) copy of an update reached the server.
+    Deliver { idx: usize },
+    /// The server's liveness tracker starts doubting the client.
+    Suspect { id: usize },
+    /// The server's liveness tracker gives the client up.
+    Expire { id: usize },
+}
+
 impl RoundEngine for EventDrivenEngine {
     fn label(&self) -> &str {
         &self.label
@@ -203,6 +279,8 @@ impl RoundEngine for EventDrivenEngine {
         let t0 = self.now_s;
         let retry = *self.inner.retry();
         let faults = *self.faults();
+        let liveness = self.liveness;
+        let live = !liveness.is_none();
         let plane = Arc::clone(&self.plane);
         let mut plane = plane.lock().expect("control plane poisoned");
         plane.ensure_clients(clients.len());
@@ -276,7 +354,7 @@ impl RoundEngine for EventDrivenEngine {
 
         // 4a. Training-phase transitions (id order, at each client's
         //     virtual finish time t_fin = t0 + duration).
-        let mut reporting: Vec<(f64, usize)> = Vec::new(); // (t_report, index into outcomes)
+        let mut reporting: Vec<(f64, usize, f64)> = Vec::new(); // (t_report, idx, deadline_s)
         let mut t_end = t0;
         for (idx, (out, job)) in outcomes.iter_mut().zip(&runnable).enumerate() {
             let id = out.client_id;
@@ -334,62 +412,222 @@ impl RoundEngine for EventDrivenEngine {
                     t_fin,
                 ));
                 let t_report = t_fin + self.waited_s(&retry, round, id, out.upload_attempts);
-                reporting.push((t_report, idx));
+                reporting.push((t_report, idx, job.deadline.limit_s()));
             }
             t_end = t_end.max(t_fin);
         }
 
-        // 4b. Delivery (virtual arrival order: t_report, then id). The
-        //     round closes the moment the aggregation policy's close
-        //     target is met; aggregatable updates arriving after that are
-        //     late — dropped with cause `round_closed`.
-        reporting.sort_by(|a, b| {
+        // 4b. The wire. Successful finishers hand their update to the
+        //     transport; client-side upload failures never reach it. A
+        //     sender with no surviving copy lost its update on the wire.
+        let mut idx_of: Vec<Option<usize>> = vec![None; clients.len()];
+        let mut envelopes: Vec<Envelope> = Vec::new();
+        let mut failures: Vec<(f64, usize)> = Vec::new();
+        let mut sent = vec![false; clients.len()];
+        for &(t_report, idx, _) in &reporting {
+            let id = outcomes[idx].client_id;
+            idx_of[id] = Some(idx);
+            if outcomes[idx].upload_failed {
+                failures.push((t_report, idx));
+            } else {
+                sent[id] = true;
+                envelopes.push(Envelope {
+                    round,
+                    client_id: id,
+                    t_send_s: t_report,
+                });
+            }
+        }
+        let carried = self.transport.carry(round, t0, &envelopes);
+        let mut arrived = vec![false; clients.len()];
+        for d in &carried.deliveries {
+            arrived[d.client_id] = true;
+        }
+        for id in 0..clients.len() {
+            if sent[id] && !arrived[id] {
+                let idx = idx_of[id].expect("sender has an outcome");
+                outcomes[idx].upload_failed = true;
+            }
+        }
+
+        // 4c. One merged timeline: deliveries and failures (kind 0), then
+        //     suspects (kind 1), then expiries (kind 2); ties broken by
+        //     client id, then copy. With the identity transport and no
+        //     liveness this is exactly the old `(t_report, client)` order.
+        let mut pending = vec![0usize; clients.len()];
+        let mut timeline: Vec<(f64, u8, usize, u32, WireItem)> = Vec::new();
+        for &(t, idx) in &failures {
+            timeline.push((t, 0, outcomes[idx].client_id, 0, WireItem::Failure { idx }));
+        }
+        for d in &carried.deliveries {
+            let idx = idx_of[d.client_id].expect("transport must not invent clients");
+            pending[d.client_id] += 1;
+            timeline.push((
+                d.t_arrive_s,
+                0,
+                d.client_id,
+                d.copy,
+                WireItem::Deliver { idx },
+            ));
+        }
+        if live {
+            for &(_, idx, deadline_s) in &reporting {
+                let id = outcomes[idx].client_id;
+                timeline.push((
+                    t0 + liveness.suspect_deadline_s(deadline_s, round, id),
+                    1,
+                    id,
+                    0,
+                    WireItem::Suspect { id },
+                ));
+                timeline.push((
+                    t0 + liveness.expire_deadline_s(deadline_s, round, id),
+                    2,
+                    id,
+                    0,
+                    WireItem::Expire { id },
+                ));
+            }
+        }
+        timeline.sort_by(|a, b| {
             a.0.total_cmp(&b.0)
-                .then_with(|| outcomes[a.1].client_id.cmp(&outcomes[b.1].client_id))
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+                .then_with(|| a.3.cmp(&b.3))
         });
-        let close_target = if self.cohort > 0 {
-            Some(self.policy.close_target(self.cohort))
-        } else {
-            None
-        };
+
+        // 4d. Play the timeline. The round closes the moment the close
+        //     target is met — or, degraded, the moment liveness concludes
+        //     the target is unreachable.
+        // Degradation is always judged against the *base* close target;
+        // escalation only widens how long the round keeps waiting.
+        let base_target = (self.cohort > 0).then(|| self.policy.close_target(self.cohort));
+        let close_target = base_target.map(|base| {
+            if self.escalated && live {
+                // Over-selection escalation after a degraded round: widen
+                // the target to the full admitted cohort so no surviving
+                // update is cut off while the fleet recovers.
+                base.max(runnable.len())
+            } else {
+                base
+            }
+        });
         let mut accepted = 0usize;
         let mut closed_at: Option<f64> = None;
-        for (t_report, idx) in reporting {
-            let out = &mut outcomes[idx];
-            let id = out.client_id;
-            if out.upload_failed {
-                must(plane.apply(
-                    id,
-                    ClientEvent::Drop,
-                    EventCause::UploadFailure,
-                    round,
-                    t_report,
-                ));
-            } else if closed_at.is_some() {
-                out.late = true;
-                must(plane.apply(
-                    id,
-                    ClientEvent::Drop,
-                    EventCause::RoundClosed,
-                    round,
-                    t_report,
-                ));
-            } else {
-                let cause = if out.upload_attempts > 1 {
-                    EventCause::UploadRecovered
-                } else {
-                    EventCause::UploadDelivered
-                };
-                must(plane.apply(id, ClientEvent::Accept, cause, round, t_report));
-                accepted += 1;
-                if close_target.is_some_and(|target| accepted >= target) {
-                    closed_at = Some(t_report);
+        let mut degraded = false;
+        for (t, _kind, _client, _copy, item) in timeline {
+            match item {
+                WireItem::Failure { idx } => {
+                    let id = outcomes[idx].client_id;
+                    must(plane.apply(id, ClientEvent::Drop, EventCause::UploadFailure, round, t));
+                    t_end = t_end.max(t);
+                }
+                WireItem::Deliver { idx } => {
+                    let id = outcomes[idx].client_id;
+                    pending[id] -= 1;
+                    match plane.state(id) {
+                        ClientState::Reporting | ClientState::Suspected => {
+                            if closed_at.is_some() {
+                                outcomes[idx].late = true;
+                                must(plane.apply(
+                                    id,
+                                    ClientEvent::Drop,
+                                    EventCause::RoundClosed,
+                                    round,
+                                    t,
+                                ));
+                            } else {
+                                if plane.state(id) == ClientState::Suspected {
+                                    must(plane.apply(
+                                        id,
+                                        ClientEvent::Heal,
+                                        EventCause::LivenessHeal,
+                                        round,
+                                        t,
+                                    ));
+                                }
+                                let cause = if outcomes[idx].upload_attempts > 1 {
+                                    EventCause::UploadRecovered
+                                } else {
+                                    EventCause::UploadDelivered
+                                };
+                                must(plane.apply(id, ClientEvent::Accept, cause, round, t));
+                                accepted += 1;
+                                if close_target.is_some_and(|target| accepted >= target) {
+                                    closed_at = Some(t);
+                                }
+                            }
+                            t_end = t_end.max(t);
+                        }
+                        // Ghost arrival: a duplicate copy, or a packet for
+                        // an already-settled client. The state machine has
+                        // no legal edge here, so the wire noise is ignored.
+                        _ => {}
+                    }
+                }
+                WireItem::Suspect { id } => {
+                    if closed_at.is_none() && plane.state(id) == ClientState::Reporting {
+                        must(plane.apply(
+                            id,
+                            ClientEvent::Suspect,
+                            EventCause::LivenessSuspect,
+                            round,
+                            t,
+                        ));
+                        t_end = t_end.max(t);
+                    }
+                }
+                WireItem::Expire { id } => {
+                    if closed_at.is_none() && plane.state(id) == ClientState::Suspected {
+                        must(plane.apply(
+                            id,
+                            ClientEvent::Drop,
+                            EventCause::LivenessExpired,
+                            round,
+                            t,
+                        ));
+                        if let Some(idx) = idx_of[id] {
+                            outcomes[idx].upload_failed = true;
+                        }
+                        t_end = t_end.max(t);
+                    }
                 }
             }
-            t_end = t_end.max(t_report);
+            // Degraded close: enough of the cohort is settled that the
+            // close target can no longer be reached — close on what we
+            // have instead of waiting for reports that cannot come.
+            if live && closed_at.is_none() {
+                if let Some(target) = close_target {
+                    let unreachable = accepted < target
+                        && pending.iter().enumerate().all(|(id, &n)| {
+                            n == 0
+                                || !matches!(
+                                    plane.state(id),
+                                    ClientState::Reporting | ClientState::Suspected
+                                )
+                        });
+                    if unreachable {
+                        closed_at = Some(t);
+                        degraded = accepted < base_target.unwrap_or(0);
+                    }
+                }
+            }
+        }
+        // An admitted cohort that never reached its base target still
+        // counts as degraded — even if no single event tripped the
+        // unreachability check (e.g. nothing was ever sent).
+        if live && closed_at.is_none() {
+            if let Some(base) = base_target {
+                if accepted < base {
+                    degraded = true;
+                }
+            }
         }
 
         // 5. Close the round and reset (id order, at the close time).
+        //    Clients the wire never resolved are settled first: lost
+        //    updates (still `Reporting`) and suspects cut off by the
+        //    close (still `Suspected`).
         let t_close = closed_at.unwrap_or(t_end);
         let quorum = self.policy.quorum(self.cohort);
         // "Early" means the close actually cut something off: work with a
@@ -397,7 +635,22 @@ impl RoundEngine for EventDrivenEngine {
         // met. A close that lands on the round's final event is just the
         // barrier behavior with bookkeeping.
         let closed_early = closed_at.is_some_and(|t| t < t_end);
-        plane.close_round(round, t_close, accepted, quorum, closed_early);
+        for (id, idx) in idx_of.iter().enumerate() {
+            let cause = match plane.state(id) {
+                ClientState::Reporting => EventCause::TransportLoss,
+                ClientState::Suspected => EventCause::LivenessExpired,
+                _ => continue,
+            };
+            must(plane.apply(id, ClientEvent::Drop, cause, round, t_close));
+            if let Some(idx) = idx {
+                outcomes[*idx].upload_failed = true;
+            }
+        }
+        plane.close_round(round, t_close, accepted, quorum, closed_early, degraded);
+        plane.record_wire(round, carried.stats);
+        if live {
+            self.escalated = degraded;
+        }
         for (id, &leaving) in departing.iter().enumerate() {
             match plane.state(id) {
                 ClientState::Dropped if leaving => {
@@ -428,6 +681,7 @@ impl RoundEngine for EventDrivenEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::LoopbackTransport;
 
     #[test]
     fn builders_wire_the_inner_engine() {
@@ -438,7 +692,19 @@ mod tests {
             .with_journal_capacity(128);
         assert_eq!(engine.workers(), 4);
         assert_eq!(engine.label(), "event-driven(4 workers)");
+        assert_eq!(engine.transport_label(), "virtual");
         assert_eq!(engine.plane().lock().unwrap().journal().capacity(), 128);
+    }
+
+    #[test]
+    fn transport_builders_stack() {
+        let engine = EventDrivenEngine::sequential()
+            .with_transport(LoopbackTransport::new(2))
+            .with_chaos(ChaosPlan::new(1).with_drops(0.5))
+            .with_liveness(LivenessPolicy::recovery(1));
+        assert_eq!(engine.transport_label(), "chaos(loopback(2 lanes))");
+        // Cloning an engine clones its boxed transport.
+        assert_eq!(engine.clone().transport_label(), engine.transport_label());
     }
 
     #[test]

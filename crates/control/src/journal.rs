@@ -60,6 +60,19 @@ pub enum EventCause {
     RoundClosed = 13,
     /// End-of-round housekeeping returned the client to the pool.
     RoundReset = 14,
+    /// The liveness tracker's heartbeat deadline lapsed with the report
+    /// still outstanding.
+    LivenessSuspect = 15,
+    /// A suspected client's update arrived after all (delayed packet or
+    /// healed partition).
+    LivenessHeal = 16,
+    /// A suspected client stayed silent past its expiry deadline and was
+    /// declared dead for the round.
+    LivenessExpired = 17,
+    /// The transport lost the update outright (chaos drop or a partition
+    /// that outlived the round) and no liveness tracker was armed to
+    /// notice earlier.
+    TransportLoss = 18,
 }
 
 impl EventCause {
@@ -81,6 +94,10 @@ impl EventCause {
             EventCause::UploadFailure => "upload_failure",
             EventCause::RoundClosed => "round_closed",
             EventCause::RoundReset => "round_reset",
+            EventCause::LivenessSuspect => "liveness_suspect",
+            EventCause::LivenessHeal => "liveness_heal",
+            EventCause::LivenessExpired => "liveness_expired",
+            EventCause::TransportLoss => "transport_loss",
         }
     }
 }
@@ -161,6 +178,12 @@ pub struct RoundClose {
     /// possible with over-selection; a close landing on the round's final
     /// event is just the barrier behavior).
     pub closed_early: bool,
+    /// Whether the round closed in *degraded mode*: the liveness tracker
+    /// concluded the close target was unreachable (outstanding reports
+    /// lost, expired, or partitioned away) and closed on whatever had
+    /// been accepted instead of waiting. A degraded close arms
+    /// over-selection escalation for the next round.
+    pub degraded: bool,
 }
 
 /// A bounded ring of [`EventEntry`] with a never-resetting sequence
@@ -258,6 +281,23 @@ impl EventJournal {
         (arrivals, departures)
     }
 
+    /// Count `(suspected, expired, healed)` liveness events recorded for
+    /// `round`.
+    pub fn liveness_counts(&self, round: u32) -> (usize, usize, usize) {
+        let mut suspected = 0;
+        let mut expired = 0;
+        let mut healed = 0;
+        for e in self.entries.iter().filter(|e| e.round == round) {
+            match e.cause {
+                EventCause::LivenessSuspect => suspected += 1,
+                EventCause::LivenessExpired => expired += 1,
+                EventCause::LivenessHeal => healed += 1,
+                _ => {}
+            }
+        }
+        (suspected, expired, healed)
+    }
+
     /// The whole journal as CSV (header + one row per entry).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("seq,round,client,from,to,cause,t_s\n");
@@ -278,20 +318,16 @@ impl EventJournal {
         out
     }
 
-    /// Write the CSV export, creating parent directories as needed.
+    /// Write the CSV export crash-safely (temp file + rename), creating
+    /// parent directories as needed.
     pub fn write_csv(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_csv())
+        bofl_fleet::metrics::write_atomic(path, &self.to_csv())
     }
 
-    /// Write the JSONL export, creating parent directories as needed.
+    /// Write the JSONL export crash-safely (temp file + rename), creating
+    /// parent directories as needed.
     pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_jsonl())
+        bofl_fleet::metrics::write_atomic(path, &self.to_jsonl())
     }
 }
 

@@ -22,12 +22,25 @@
 //!   instead of waiting for every straggler, and churn (clients joining
 //!   and leaving the fleet mid-run, even mid-round) is handled as
 //!   ordinary transitions.
+//! - [`transport`] — delivery is a pluggable [`Transport`] seam:
+//!   [`VirtualTransport`] (identity, the default) and
+//!   [`LoopbackTransport`] (real `std::thread` lanes + mpsc channels,
+//!   byte-identical journal with zero faults).
+//! - [`chaos`] — [`ChaosTransport`] decorates any carrier with seeded
+//!   delay, drop, duplication, reordering and partitions drawn from a
+//!   [`ChaosPlan`] (same stream discipline as `FaultPlan`).
+//! - [`liveness`] — [`LivenessPolicy`] arms per-client heartbeat
+//!   deadlines: silent clients are `Suspected`, then expired; an update
+//!   arriving in between heals them. When the close target becomes
+//!   unreachable the round closes *degraded* and the next round's close
+//!   target widens (over-selection escalation) instead of hanging.
 //! - [`sim`] — [`ControlSimulation`], the one-stop builder mirroring
 //!   `bofl_fleet::FleetSimulation`.
 //!
-//! Virtual timestamps are derived from simulated durations and seeded
-//! retry backoffs — never the wall clock — so for a fixed fleet seed the
-//! journal is **byte-identical at any worker count**.
+//! Virtual timestamps are derived from simulated durations, seeded
+//! retry backoffs and seeded chaos draws — never the wall clock — so for
+//! a fixed fleet seed the journal is **byte-identical at any worker
+//! count and any transport lane count**.
 //!
 //! # Example
 //!
@@ -55,26 +68,39 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod journal;
+pub mod liveness;
 pub mod plane;
 pub mod sim;
 pub mod state;
+pub mod transport;
 
+pub use chaos::{ChaosPlan, ChaosTransport};
 pub use engine::{EventDrivenEngine, PlaneHandle};
 pub use journal::{EventCause, EventEntry, EventJournal, RoundClose, DEFAULT_JOURNAL_CAPACITY};
+pub use liveness::LivenessPolicy;
 pub use plane::{ControlPlane, ReplayError};
 pub use sim::{ControlRunReport, ControlSimulation, ControlSimulationBuilder};
 pub use state::{ClientEvent, ClientState, TransitionError};
+pub use transport::{
+    Carried, Delivery, Envelope, LoopbackTransport, Transport, VirtualTransport, WireStats,
+};
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::chaos::{ChaosPlan, ChaosTransport};
     pub use crate::engine::{EventDrivenEngine, PlaneHandle};
     pub use crate::journal::{EventCause, EventEntry, EventJournal, RoundClose};
+    pub use crate::liveness::LivenessPolicy;
     pub use crate::plane::{ControlPlane, ReplayError};
     pub use crate::sim::{ControlRunReport, ControlSimulation, ControlSimulationBuilder};
     pub use crate::state::{ClientEvent, ClientState, TransitionError};
-    pub use bofl_fl::network::RetryPolicy;
+    pub use crate::transport::{
+        Carried, Delivery, Envelope, LoopbackTransport, Transport, VirtualTransport, WireStats,
+    };
+    pub use bofl_fl::network::{NetworkModel, RetryPolicy};
     pub use bofl_fl::server::AggregationPolicy;
     pub use bofl_fleet::fault::{ChurnStatus, FaultPlan};
     pub use bofl_fleet::generator::FleetSpec;

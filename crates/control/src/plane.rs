@@ -9,6 +9,7 @@
 
 use crate::journal::{EventCause, EventEntry, EventJournal, RoundClose};
 use crate::state::{ClientEvent, ClientState, TransitionError};
+use crate::transport::WireStats;
 
 /// Tracks every client's lifecycle state and journals transitions.
 #[derive(Debug, Clone)]
@@ -16,6 +17,7 @@ pub struct ControlPlane {
     states: Vec<ClientState>,
     journal: EventJournal,
     closes: Vec<RoundClose>,
+    wire: Vec<(u32, WireStats)>,
 }
 
 impl ControlPlane {
@@ -26,6 +28,7 @@ impl ControlPlane {
             states: vec![ClientState::Idle; clients],
             journal: EventJournal::default(),
             closes: Vec::new(),
+            wire: Vec::new(),
         }
     }
 
@@ -35,6 +38,7 @@ impl ControlPlane {
             states: vec![ClientState::Idle; clients],
             journal: EventJournal::with_capacity(capacity),
             closes: Vec::new(),
+            wire: Vec::new(),
         }
     }
 
@@ -105,6 +109,7 @@ impl ControlPlane {
         accepted: usize,
         quorum: usize,
         closed_early: bool,
+        degraded: bool,
     ) {
         self.closes.push(RoundClose {
             round: round as u32,
@@ -113,7 +118,30 @@ impl ControlPlane {
             quorum,
             quorum_met: accepted >= quorum,
             closed_early,
+            degraded,
         });
+    }
+
+    /// Record what the transport did to one round's messages.
+    pub fn record_wire(&mut self, round: usize, stats: WireStats) {
+        self.wire.push((round as u32, stats));
+    }
+
+    /// The transport's wire statistics for `round`, if any were recorded.
+    pub fn wire_stats(&self, round: usize) -> Option<WireStats> {
+        self.wire
+            .iter()
+            .find(|(r, _)| *r == round as u32)
+            .map(|(_, s)| *s)
+    }
+
+    /// Wire statistics accumulated over every recorded round.
+    pub fn wire_totals(&self) -> WireStats {
+        let mut total = WireStats::default();
+        for (_, s) in &self.wire {
+            total.merge(s);
+        }
+        total
     }
 
     /// Replay a journal slice over a fresh fleet of `clients` Idle
@@ -294,11 +322,41 @@ mod tests {
     #[test]
     fn close_round_records_quorum_bookkeeping() {
         let mut plane = ControlPlane::new(4);
-        plane.close_round(0, 30.0, 3, 2, true);
-        plane.close_round(1, 61.5, 1, 2, false);
+        plane.close_round(0, 30.0, 3, 2, true, false);
+        plane.close_round(1, 61.5, 1, 2, false, true);
         assert_eq!(plane.closes().len(), 2);
         assert!(plane.closes()[0].quorum_met);
         assert!(plane.closes()[0].closed_early);
+        assert!(!plane.closes()[0].degraded);
         assert!(!plane.closes()[1].quorum_met);
+        assert!(plane.closes()[1].degraded);
+    }
+
+    #[test]
+    fn wire_stats_are_recorded_per_round() {
+        let mut plane = ControlPlane::new(2);
+        assert_eq!(plane.wire_stats(0), None);
+        plane.record_wire(
+            0,
+            WireStats {
+                sent: 4,
+                dropped: 1,
+                ..WireStats::default()
+            },
+        );
+        plane.record_wire(
+            1,
+            WireStats {
+                sent: 3,
+                delayed: 2,
+                ..WireStats::default()
+            },
+        );
+        assert_eq!(plane.wire_stats(0).unwrap().dropped, 1);
+        assert_eq!(plane.wire_stats(1).unwrap().delayed, 2);
+        let totals = plane.wire_totals();
+        assert_eq!(totals.sent, 7);
+        assert_eq!(totals.dropped, 1);
+        assert_eq!(totals.delayed, 2);
     }
 }

@@ -2,8 +2,11 @@
 //! engine + metrics + journal in one builder, mirroring
 //! `bofl_fleet::FleetSimulation` so the two harnesses read the same way.
 
+use crate::chaos::ChaosPlan;
 use crate::engine::{EventDrivenEngine, PlaneHandle};
 use crate::journal::{EventJournal, RoundClose};
+use crate::liveness::LivenessPolicy;
+use crate::transport::Transport;
 use bofl::task::PaceController;
 use bofl_fl::network::RetryPolicy;
 use bofl_fl::server::{Federation, FederationConfig, RunHistory};
@@ -46,24 +49,38 @@ impl ControlSimulation {
             retry: RetryPolicy::none(),
             controller_factory: None,
             journal_capacity: None,
+            transport: None,
+            chaos: ChaosPlan::none(),
+            liveness: LivenessPolicy::none(),
         }
     }
 
     /// Runs all rounds, collecting fleet metrics and annotating each
-    /// round's churn counts from the event journal.
+    /// round's churn, chaos, and liveness counts from the event journal
+    /// and the transport's wire statistics.
     pub fn run(&mut self) -> ControlRunReport {
         let mut metrics = FleetMetrics::new();
         let mut rounds = Vec::with_capacity(self.rounds);
         for round in 0..self.rounds {
             let (record, outcomes) = self.federation.run_round_detailed(round);
             metrics.record(&record, &outcomes);
-            let (arrivals, departures) = self
-                .plane
-                .lock()
-                .expect("control plane poisoned")
-                .journal()
-                .churn_counts(round as u32);
-            metrics.annotate_churn(round, arrivals, departures);
+            {
+                let plane = self.plane.lock().expect("control plane poisoned");
+                let (arrivals, departures) = plane.journal().churn_counts(round as u32);
+                metrics.annotate_churn(round, arrivals, departures);
+                if let Some(wire) = plane.wire_stats(round) {
+                    metrics.annotate_chaos(
+                        round,
+                        wire.dropped,
+                        wire.delayed,
+                        wire.duplicated,
+                        wire.reordered,
+                        wire.partition_held,
+                    );
+                }
+                let (suspected, expired, healed) = plane.journal().liveness_counts(round as u32);
+                metrics.annotate_liveness(round, suspected, expired, healed);
+            }
             rounds.push(record);
         }
         let plane = self.plane.lock().expect("control plane poisoned");
@@ -139,6 +156,9 @@ pub struct ControlSimulationBuilder {
     retry: RetryPolicy,
     controller_factory: Option<ControllerFactory>,
     journal_capacity: Option<usize>,
+    transport: Option<Box<dyn Transport>>,
+    chaos: ChaosPlan,
+    liveness: LivenessPolicy,
 }
 
 impl std::fmt::Debug for ControlSimulationBuilder {
@@ -204,13 +224,44 @@ impl ControlSimulationBuilder {
         self
     }
 
+    /// Replaces the delivery transport (default
+    /// [`crate::transport::VirtualTransport`]).
+    #[must_use]
+    pub fn transport(mut self, transport: impl Transport + 'static) -> Self {
+        self.transport = Some(Box::new(transport));
+        self
+    }
+
+    /// Wraps the transport in a [`crate::chaos::ChaosTransport`]
+    /// injecting the given plan (no-op for an empty plan).
+    #[must_use]
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
+    /// Arms server-side liveness tracking (defaults to
+    /// [`LivenessPolicy::none`]).
+    #[must_use]
+    pub fn liveness(mut self, liveness: LivenessPolicy) -> Self {
+        self.liveness = liveness;
+        self
+    }
+
     /// Builds the simulation.
     pub fn build(self) -> ControlSimulation {
         let spec = self.spec;
         let mut engine = EventDrivenEngine::new(self.workers.max(1))
             .with_faults(self.faults)
             .with_retry(self.retry)
-            .with_close_policy(self.config.aggregation, self.config.clients_per_round);
+            .with_close_policy(self.config.aggregation, self.config.clients_per_round)
+            .with_liveness(self.liveness);
+        if let Some(transport) = self.transport {
+            engine = engine.with_boxed_transport(transport);
+        }
+        if !self.chaos.is_none() {
+            engine = engine.with_chaos(self.chaos);
+        }
         if let Some(capacity) = self.journal_capacity {
             engine = engine.with_journal_capacity(capacity);
         }

@@ -24,10 +24,17 @@
 //!    │                     │                │  │     │   │  Drop edges)
 //!    │                     ▼         Finish │  ▼     ▼   │
 //!    │ Reset            Dropped ◄── Drop ── Reporting ◄──┘
-//!    │                     │  ▲              │
+//!    │                     │  ▲   Suspect ─► │  ▲ Suspected
+//!    │                     │  │   ◄─ Heal ───┘  │ (Drop from there too)
 //!    └─────────────────────┘  └── Drop ──────┤ Accept
 //!    └◄──────── Reset ─────────── Aggregated ◄┘
 //! ```
+//!
+//! The liveness overlay (PR 7) adds exactly one state and two events: a
+//! `Reporting` client whose heartbeat deadline lapses is `Suspect`ed; a
+//! suspected client whose update finally arrives (a healed partition, a
+//! delayed packet) `Heal`s back to `Reporting`, while one that stays
+//! silent past its expiry deadline `Drop`s like any other casualty.
 //!
 //! All three enums are `#[repr(u8)]` with stable discriminants so a
 //! journal entry serializes to one byte per field in a binary transport
@@ -63,6 +70,10 @@ pub enum ClientState {
     Dropped = 7,
     /// Out of the fleet entirely (churn); not selectable until it rejoins.
     Departed = 8,
+    /// Its update is overdue: the liveness tracker's heartbeat deadline
+    /// lapsed with the report still outstanding. A suspect either heals
+    /// (the update arrives after all) or expires into `Dropped`.
+    Suspected = 9,
 }
 
 /// The stimuli that move a client between states.
@@ -89,11 +100,17 @@ pub enum ClientEvent {
     Depart = 8,
     /// The client rejoined the fleet (churn).
     Join = 9,
+    /// The liveness tracker's heartbeat deadline lapsed with the report
+    /// still in flight.
+    Suspect = 10,
+    /// A suspected client's update arrived after all — the silence was a
+    /// delay or a healed partition, not a death.
+    Heal = 11,
 }
 
 impl ClientState {
     /// Every state, in discriminant order (for exhaustive table tests).
-    pub const ALL: [ClientState; 9] = [
+    pub const ALL: [ClientState; 10] = [
         ClientState::Idle,
         ClientState::Selected,
         ClientState::Training,
@@ -103,6 +120,7 @@ impl ClientState {
         ClientState::Aggregated,
         ClientState::Dropped,
         ClientState::Departed,
+        ClientState::Suspected,
     ];
 
     /// Stable lowercase name (journal CSV/JSONL vocabulary).
@@ -117,6 +135,7 @@ impl ClientState {
             ClientState::Aggregated => "aggregated",
             ClientState::Dropped => "dropped",
             ClientState::Departed => "departed",
+            ClientState::Suspected => "suspected",
         }
     }
 
@@ -143,6 +162,9 @@ impl ClientState {
             (S::Quarantined, E::Drop) => Some(S::Dropped),
             (S::Reporting, E::Accept) => Some(S::Aggregated),
             (S::Reporting, E::Drop) => Some(S::Dropped),
+            (S::Reporting, E::Suspect) => Some(S::Suspected),
+            (S::Suspected, E::Heal) => Some(S::Reporting),
+            (S::Suspected, E::Drop) => Some(S::Dropped),
             (S::Aggregated, E::Reset) => Some(S::Idle),
             (S::Dropped, E::Reset) => Some(S::Idle),
             (S::Dropped, E::Depart) => Some(S::Departed),
@@ -151,7 +173,8 @@ impl ClientState {
         }
     }
 
-    /// Whether the client is mid-round (selected but not yet settled).
+    /// Whether the client is mid-round (selected but not yet settled). A
+    /// suspect is still in flight: its update may yet heal and arrive.
     pub fn in_flight(&self) -> bool {
         matches!(
             self,
@@ -160,13 +183,14 @@ impl ClientState {
                 | ClientState::Escalated
                 | ClientState::Quarantined
                 | ClientState::Reporting
+                | ClientState::Suspected
         )
     }
 }
 
 impl ClientEvent {
     /// Every event, in discriminant order (for exhaustive table tests).
-    pub const ALL: [ClientEvent; 10] = [
+    pub const ALL: [ClientEvent; 12] = [
         ClientEvent::Select,
         ClientEvent::Start,
         ClientEvent::Escalate,
@@ -177,6 +201,8 @@ impl ClientEvent {
         ClientEvent::Reset,
         ClientEvent::Depart,
         ClientEvent::Join,
+        ClientEvent::Suspect,
+        ClientEvent::Heal,
     ];
 
     /// Stable lowercase name.
@@ -192,6 +218,8 @@ impl ClientEvent {
             ClientEvent::Reset => "reset",
             ClientEvent::Depart => "depart",
             ClientEvent::Join => "join",
+            ClientEvent::Suspect => "suspect",
+            ClientEvent::Heal => "heal",
         }
     }
 }
@@ -241,8 +269,11 @@ mod tests {
     fn discriminants_are_stable_bytes() {
         assert_eq!(ClientState::Idle as u8, 0);
         assert_eq!(ClientState::Departed as u8, 8);
+        assert_eq!(ClientState::Suspected as u8, 9);
         assert_eq!(ClientEvent::Select as u8, 0);
         assert_eq!(ClientEvent::Join as u8, 9);
+        assert_eq!(ClientEvent::Suspect as u8, 10);
+        assert_eq!(ClientEvent::Heal as u8, 11);
         assert_eq!(std::mem::size_of::<ClientState>(), 1);
         assert_eq!(std::mem::size_of::<ClientEvent>(), 1);
     }
@@ -267,6 +298,12 @@ mod tests {
         assert_eq!(S::Reporting.next(E::Drop), Some(S::Dropped));
         assert_eq!(S::Dropped.next(E::Depart), Some(S::Departed));
         assert_eq!(S::Departed.next(E::Join), Some(S::Idle));
+        // Liveness is no more special than churn: suspect, then heal or
+        // expire, all along ordinary edges.
+        assert_eq!(S::Reporting.next(E::Suspect), Some(S::Suspected));
+        assert_eq!(S::Suspected.next(E::Heal), Some(S::Reporting));
+        assert_eq!(S::Suspected.next(E::Drop), Some(S::Dropped));
+        assert_eq!(S::Suspected.next(E::Accept), None);
     }
 
     #[test]
@@ -301,7 +338,8 @@ mod tests {
                 ClientState::Training,
                 ClientState::Escalated,
                 ClientState::Quarantined,
-                ClientState::Reporting
+                ClientState::Reporting,
+                ClientState::Suspected
             ]
         );
     }

@@ -1,6 +1,6 @@
 //! The transition contract, pinned exhaustively.
 //!
-//! Every `(state, event)` pair — all 90 of them — is classified as either
+//! Every `(state, event)` pair — all 120 of them — is classified as either
 //! a legal edge with a known destination or an illegal pair that must
 //! come back as a typed `TransitionError` without panicking. The legal
 //! set below is the *complete* contract: adding or removing an edge in
@@ -15,7 +15,7 @@ use ClientEvent as E;
 use ClientState as S;
 
 /// The complete legal-edge table: `(from, event, to)`.
-const LEGAL: [(S, E, S); 19] = [
+const LEGAL: [(S, E, S); 22] = [
     (S::Idle, E::Select, S::Selected),
     (S::Idle, E::Depart, S::Departed),
     (S::Selected, E::Start, S::Training),
@@ -31,6 +31,9 @@ const LEGAL: [(S, E, S); 19] = [
     (S::Quarantined, E::Drop, S::Dropped),
     (S::Reporting, E::Accept, S::Aggregated),
     (S::Reporting, E::Drop, S::Dropped),
+    (S::Reporting, E::Suspect, S::Suspected),
+    (S::Suspected, E::Heal, S::Reporting),
+    (S::Suspected, E::Drop, S::Dropped),
     (S::Aggregated, E::Reset, S::Idle),
     (S::Dropped, E::Reset, S::Idle),
     (S::Dropped, E::Depart, S::Departed),
@@ -64,7 +67,7 @@ fn every_state_event_pair_matches_the_table() {
         LEGAL.len(),
         "the table must be the complete contract"
     );
-    assert_eq!(S::ALL.len() * E::ALL.len(), 90);
+    assert_eq!(S::ALL.len() * E::ALL.len(), 120);
 }
 
 #[test]
@@ -109,6 +112,7 @@ fn drive_to(plane: &mut ControlPlane, target: S) {
         S::Escalated => &[E::Select, E::Start, E::Escalate],
         S::Quarantined => &[E::Select, E::Start, E::Quarantine],
         S::Reporting => &[E::Select, E::Start, E::Finish],
+        S::Suspected => &[E::Select, E::Start, E::Finish, E::Suspect],
         S::Aggregated => &[E::Select, E::Start, E::Finish, E::Accept],
         S::Dropped => &[E::Select, E::Drop],
         S::Departed => &[E::Depart],
@@ -136,7 +140,7 @@ fn terminal_states_do_not_exist() {
 /// A strategy producing random event sequences; applying them through a
 /// plane (ignoring refusals) yields an arbitrary reachable journal.
 fn random_events() -> impl Strategy<Value = Vec<(usize, u8)>> {
-    proptest::collection::vec((0usize..4, 0u8..10), 0..200)
+    proptest::collection::vec((0usize..4, 0u8..12), 0..200)
 }
 
 proptest! {

@@ -1,0 +1,124 @@
+//! Loopback acceptance: swapping the identity wire for real OS-thread
+//! lanes must change *nothing*. With zero injected faults the
+//! [`LoopbackTransport`] journal is byte-identical to the virtual
+//! engine's at any lane count and any worker count — the lanes race on
+//! the OS scheduler, but arrival times are virtual, so the race is
+//! erased before the timeline is played.
+
+use bofl_control::chaos::ChaosTransport;
+use bofl_control::prelude::*;
+use bofl_fl::server::FederationConfig;
+use proptest::prelude::*;
+
+/// The same deliberately hostile baseline the determinism suite uses:
+/// dropout, stragglers, upload failures, churn, retries and quorum
+/// closes all active at once — everything except wire faults.
+fn builder(seed: u64, workers: usize) -> ControlSimulationBuilder {
+    ControlSimulation::builder(FleetSpec::mixed(10, seed))
+        .federation(FederationConfig {
+            clients_per_round: 4,
+            rounds: 3,
+            classes: 3,
+            feature_dims: 6,
+            seed,
+            aggregation: AggregationPolicy::recovery(),
+            ..FederationConfig::default()
+        })
+        .workers(workers)
+        .faults(
+            FaultPlan::new(seed ^ 0xFA17)
+                .with_dropout(0.15)
+                .with_stragglers(0.25, (1.5, 3.0))
+                .with_upload_failures(0.1)
+                .with_churn(0.1, 1),
+        )
+        .retry(RetryPolicy::recovery())
+}
+
+fn run_virtual(seed: u64, workers: usize) -> ControlRunReport {
+    builder(seed, workers).build().run()
+}
+
+fn run_loopback(seed: u64, workers: usize, lanes: usize) -> ControlRunReport {
+    builder(seed, workers)
+        .transport(LoopbackTransport::new(lanes))
+        .build()
+        .run()
+}
+
+#[test]
+fn zero_fault_loopback_is_byte_identical_to_virtual() {
+    let seed = 42;
+    let reference = run_virtual(seed, 1);
+    for workers in [1, 2, 8] {
+        for lanes in [1, 2, 8] {
+            let loopback = run_loopback(seed, workers, lanes);
+            assert_eq!(
+                reference.journal.to_csv(),
+                loopback.journal.to_csv(),
+                "journal diverged at workers={workers}, lanes={lanes}"
+            );
+            assert_eq!(
+                reference.metrics.to_csv(),
+                loopback.metrics.to_csv(),
+                "metrics diverged at workers={workers}, lanes={lanes}"
+            );
+            assert_eq!(reference.history, loopback.history);
+            assert_eq!(reference.closes, loopback.closes);
+        }
+    }
+}
+
+#[test]
+fn loopback_under_an_empty_chaos_plan_stays_identical() {
+    // The full acceptance stack — loopback lanes wrapped in a chaos
+    // decorator — with an *empty* plan must still be a byte-identical
+    // no-op: chaos only changes the run when a fault family is armed.
+    let seed = 7;
+    let reference = run_virtual(seed, 2);
+    let chaotic = builder(seed, 2)
+        .transport(ChaosTransport::new(
+            Box::new(LoopbackTransport::new(4)),
+            ChaosPlan::none(),
+        ))
+        .build()
+        .run();
+    assert_eq!(reference.journal.to_csv(), chaotic.journal.to_csv());
+    assert_eq!(reference.journal.to_jsonl(), chaotic.journal.to_jsonl());
+    assert_eq!(reference.metrics.to_csv(), chaotic.metrics.to_csv());
+    assert_eq!(reference.history, chaotic.history);
+}
+
+#[test]
+fn loopback_reports_wire_stats_per_round() {
+    let mut sim = builder(11, 2).transport(LoopbackTransport::new(3)).build();
+    let report = sim.run();
+    let plane = sim.plane();
+    let plane = plane.lock().unwrap();
+    let totals = plane.wire_totals();
+    // Every round recorded its stats; a faultless wire loses nothing.
+    assert!(totals.sent > 0);
+    assert_eq!(totals.dropped, 0);
+    assert_eq!(totals.duplicated, 0);
+    assert_eq!(totals.partition_held, 0);
+    assert_eq!(report.metrics.chaos_dropped(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any seed, any worker count, any lane count: one canonical journal.
+    #[test]
+    fn any_lane_count_reproduces_the_virtual_journal(
+        seed in 0u64..1_000_000,
+        workers in 1usize..9,
+        lanes in 1usize..9,
+    ) {
+        let reference = run_virtual(seed, 1);
+        let loopback = run_loopback(seed, workers, lanes);
+        prop_assert_eq!(reference.journal.to_csv(), loopback.journal.to_csv());
+        prop_assert_eq!(reference.metrics.to_csv(), loopback.metrics.to_csv());
+        prop_assert_eq!(&reference.history, &loopback.history);
+        prop_assert_eq!(&reference.closes, &loopback.closes);
+    }
+}

@@ -61,7 +61,12 @@ impl NetworkModel {
     pub fn transfer(&self, bytes: f64, rng: &mut impl Rng) -> (f64, f64) {
         assert!(bytes >= 0.0 && bytes.is_finite(), "bytes must be finite");
         let z = standard_normal(rng);
-        let bw = self.nominal_bps * (self.sigma * z - 0.5 * self.sigma * self.sigma).exp();
+        let raw = self.nominal_bps * (self.sigma * z - 0.5 * self.sigma * self.sigma).exp();
+        debug_assert!(raw.is_finite(), "bandwidth draw must be finite");
+        // Floor the draw at a small fraction of nominal: a pathological σ
+        // or an extreme tail Z could otherwise underflow toward zero and
+        // turn one transfer into an effectively infinite duration.
+        let bw = raw.max(self.nominal_bps * 1e-4);
         let duration = self.setup_latency_s + bytes / bw;
         (duration, bw)
     }
@@ -328,6 +333,23 @@ mod tests {
             "mean bandwidth {mean_bw:.0} vs nominal {:.0}",
             net.nominal_bps
         );
+    }
+
+    #[test]
+    fn transfer_bandwidth_is_floored_above_zero() {
+        // An absurd σ makes the lognormal tail collapse toward zero; the
+        // floor keeps every draw positive and every duration finite.
+        let net = NetworkModel {
+            nominal_bps: 1.0e6,
+            sigma: 40.0,
+            setup_latency_s: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let (d, bw) = net.transfer(1.0e6, &mut rng);
+            assert!(bw >= net.nominal_bps * 1e-4, "bandwidth {bw} under floor");
+            assert!(d.is_finite() && d > 0.0, "duration {d} not finite");
+        }
     }
 
     #[test]

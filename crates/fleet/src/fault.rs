@@ -10,6 +10,19 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The shared stream-seed discipline: every deterministic draw in the
+/// fault/chaos family derives its RNG seed from the same XOR mix of
+/// `(seed, round, client)` plus a stream-distinguishing `salt` (0 for the
+/// primary fault stream). Pure in its arguments, so any engine on any
+/// thread agrees on every draw; exposed so sibling plans (chaos
+/// transports, liveness jitter) extend the discipline instead of
+/// inventing their own.
+pub fn stream_seed(seed: u64, round: usize, client_id: usize, salt: u64) -> u64 {
+    seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ salt
+}
+
 /// The faults injected into one client's round.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultDraw {
@@ -170,12 +183,12 @@ impl FaultPlan {
         if self.churn_departure_probability == 0.0 {
             return false;
         }
-        let mut rng = StdRng::seed_from_u64(
-            self.seed
-                ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                ^ (client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-                ^ 0xC0_FF_EE_15_BA_D5_EE_D5u64,
-        );
+        let mut rng = StdRng::seed_from_u64(stream_seed(
+            self.seed,
+            round,
+            client_id,
+            0xC0_FF_EE_15_BA_D5_EE_D5,
+        ));
         rng.gen::<f64>() < self.churn_departure_probability
     }
 
@@ -219,11 +232,7 @@ impl FaultPlan {
         if self.is_none() {
             return FaultDraw::healthy();
         }
-        let mut rng = StdRng::seed_from_u64(
-            self.seed
-                ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                ^ (client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
-        );
+        let mut rng = StdRng::seed_from_u64(stream_seed(self.seed, round, client_id, 0));
         let dropped = rng.gen::<f64>() < self.dropout_probability;
         let straggler = rng.gen::<f64>() < self.straggler_probability;
         let (lo, hi) = self.straggler_slowdown;
@@ -254,12 +263,12 @@ impl FaultPlan {
         if self.upload_failure_probability == 0.0 {
             return false;
         }
-        let mut rng = StdRng::seed_from_u64(
-            self.seed
-                ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                ^ (client_id as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-                ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
-        );
+        let mut rng = StdRng::seed_from_u64(stream_seed(
+            self.seed,
+            round,
+            client_id,
+            (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        ));
         rng.gen::<f64>() < self.upload_failure_probability
     }
 }

@@ -101,6 +101,26 @@ pub struct FleetRoundStats {
     /// Clients that left the fleet this round (churn), mid-round or
     /// between rounds. Journal-derived; barrier engines leave it 0.
     pub churn_departures: usize,
+    /// Updates the chaos transport dropped on the wire this round.
+    /// Annotated from the transport's wire stats; engines without a chaos
+    /// transport leave all chaos columns 0.
+    pub chaos_dropped: usize,
+    /// Updates the chaos transport delayed beyond their send time.
+    pub chaos_delayed: usize,
+    /// Duplicate copies the chaos transport injected.
+    pub chaos_duplicated: usize,
+    /// Deliveries that arrived out of send order after chaos jitter.
+    pub chaos_reordered: usize,
+    /// Updates held back by an unhealed network partition at send time.
+    pub chaos_partition_held: usize,
+    /// Clients the liveness tracker suspected this round (heartbeat
+    /// deadline lapsed). Journal-derived; 0 without a liveness policy.
+    pub suspected: usize,
+    /// Suspected clients that stayed silent past expiry and were declared
+    /// dead for the round.
+    pub expired: usize,
+    /// Suspected clients whose update arrived after all (healed).
+    pub healed: usize,
     /// Clients per controller phase:
     /// `[none, random exploration, pareto construction, exploitation]`.
     pub phase_counts: [usize; 4],
@@ -153,6 +173,14 @@ impl FleetRoundStats {
             quarantined: outcomes.iter().map(|o| o.result.quarantined).sum(),
             churn_arrivals: 0,
             churn_departures: 0,
+            chaos_dropped: 0,
+            chaos_delayed: 0,
+            chaos_duplicated: 0,
+            chaos_reordered: 0,
+            chaos_partition_held: 0,
+            suspected: 0,
+            expired: 0,
+            healed: 0,
             phase_counts,
             suggest_ms: Distribution::of(
                 &outcomes
@@ -260,12 +288,66 @@ impl FleetMetrics {
         self.rounds.iter().map(|r| r.churn_departures).sum()
     }
 
+    /// Annotates an already-recorded round with the chaos transport's
+    /// wire statistics. No-op if the round was never recorded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn annotate_chaos(
+        &mut self,
+        round: usize,
+        dropped: usize,
+        delayed: usize,
+        duplicated: usize,
+        reordered: usize,
+        partition_held: usize,
+    ) {
+        if let Some(stats) = self.rounds.iter_mut().find(|r| r.round == round) {
+            stats.chaos_dropped = dropped;
+            stats.chaos_delayed = delayed;
+            stats.chaos_duplicated = duplicated;
+            stats.chaos_reordered = reordered;
+            stats.chaos_partition_held = partition_held;
+        }
+    }
+
+    /// Annotates an already-recorded round with journal-derived liveness
+    /// counts. No-op if the round was never recorded.
+    pub fn annotate_liveness(
+        &mut self,
+        round: usize,
+        suspected: usize,
+        expired: usize,
+        healed: usize,
+    ) {
+        if let Some(stats) = self.rounds.iter_mut().find(|r| r.round == round) {
+            stats.suspected = suspected;
+            stats.expired = expired;
+            stats.healed = healed;
+        }
+    }
+
+    /// Total updates lost on the wire across recorded rounds.
+    pub fn chaos_dropped(&self) -> usize {
+        self.rounds.iter().map(|r| r.chaos_dropped).sum()
+    }
+
+    /// Total liveness suspicions across recorded rounds.
+    pub fn suspected(&self) -> usize {
+        self.rounds.iter().map(|r| r.suspected).sum()
+    }
+
+    /// Total suspected-then-healed clients across recorded rounds.
+    pub fn healed(&self) -> usize {
+        self.rounds.iter().map(|r| r.healed).sum()
+    }
+
     /// The CSV header this aggregator emits.
     pub const CSV_HEADER: &'static str = "round,selected,aggregated,deadline_s,\
 energy_total_j,energy_mean_j,energy_p95_j,latency_mean_s,latency_p95_s,latency_max_s,\
 miss_rate,dropouts,upload_failures,stragglers,\
 quorum,quorum_shortfall,upload_retries,recovered_uploads,escalated_jobs,quarantined,\
 churn_arrivals,churn_departures,\
+chaos_dropped,chaos_delayed,chaos_duplicated,chaos_reordered,chaos_partition_held,\
+suspected,expired,healed,\
 phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
 
     /// Renders all recorded rounds as CSV. Formatting is fixed-precision,
@@ -276,7 +358,7 @@ phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
         out.push('\n');
         for r in &self.rounds {
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.4}\n",
+                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.4}\n",
                 r.round,
                 r.selected,
                 r.aggregated,
@@ -299,6 +381,14 @@ phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
                 r.quarantined,
                 r.churn_arrivals,
                 r.churn_departures,
+                r.chaos_dropped,
+                r.chaos_delayed,
+                r.chaos_duplicated,
+                r.chaos_reordered,
+                r.chaos_partition_held,
+                r.suspected,
+                r.expired,
+                r.healed,
                 r.phase_counts[0],
                 r.phase_counts[1],
                 r.phase_counts[2],
@@ -312,16 +402,50 @@ phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
         out
     }
 
-    /// Writes the CSV to `path`, creating parent directories as needed.
+    /// Writes the CSV to `path` crash-safely (temp file + rename),
+    /// creating parent directories as needed.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_csv(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
+        write_atomic(path, &self.to_csv())
+    }
+}
+
+/// Crash-safe file export: write `contents` to a sibling temp file, then
+/// rename it over `path`. Rename is atomic on POSIX filesystems, so an
+/// interrupted export leaves either the previous artifact or the new one —
+/// never a truncated hybrid. Parent directories are created as needed and
+/// the temp file is cleaned up if the rename fails.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as typed [`io::Error`]s; never panics.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
         }
-        fs::write(path, self.to_csv())
+    }
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("artifact path has no file name: {}", path.display()),
+        )
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Best-effort cleanup; the rename error is the one worth
+            // surfacing.
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
     }
 }
 
@@ -459,6 +583,57 @@ mod tests {
         assert!(header.contains("churn_departures"));
         let cols = header.split(',').count();
         assert!(csv.lines().skip(1).all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn chaos_and_liveness_annotations_surface_in_csv() {
+        let mut m = FleetMetrics::new();
+        m.record(&record(0), &[outcome(0, 10.0, 5.0, true)]);
+        m.annotate_chaos(0, 3, 5, 1, 2, 4);
+        m.annotate_liveness(0, 6, 2, 4);
+        m.annotate_chaos(9, 1, 1, 1, 1, 1); // unknown round: ignored
+        m.annotate_liveness(9, 1, 1, 1);
+        let s = &m.rounds()[0];
+        assert_eq!(
+            (s.chaos_dropped, s.chaos_delayed, s.chaos_duplicated),
+            (3, 5, 1)
+        );
+        assert_eq!((s.chaos_reordered, s.chaos_partition_held), (2, 4));
+        assert_eq!((s.suspected, s.expired, s.healed), (6, 2, 4));
+        assert_eq!(m.chaos_dropped(), 3);
+        assert_eq!(m.suspected(), 6);
+        assert_eq!(m.healed(), 4);
+        let csv = m.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains("chaos_partition_held"));
+        assert!(header.contains(",suspected,expired,healed,"));
+        let cols = header.split(',').count();
+        assert!(csv.lines().skip(1).all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn atomic_write_lands_contents_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!(
+            "bofl_atomic_write_{}_{}",
+            std::process::id(),
+            0x5eed_u32
+        ));
+        let path = dir.join("nested").join("metrics.csv");
+        write_atomic(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        // Overwrite goes through the same temp-then-rename path.
+        write_atomic(&path, "a,b\n3,4\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n3,4\n");
+        let leftovers: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind");
+        // A path with no file name is a typed error, not a panic.
+        let err = write_atomic(Path::new("/"), "x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
