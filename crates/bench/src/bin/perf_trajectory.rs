@@ -14,7 +14,11 @@
 //!   closes), isolating the control plane's overhead;
 //! - `round/loopback_transport` — the event-driven run again with
 //!   updates carried over real OS-thread loopback lanes, isolating the
-//!   transport seam's overhead.
+//!   transport seam's overhead;
+//! - `round/sharded_1m_clients` — the hierarchical aggregation headline:
+//!   a 1,000,000-client registered fleet, 4,096-client cohorts, 100
+//!   rounds through 64 aggregator shards with int8-quantized uplinks and
+//!   the full fault stack.
 //!
 //! ```sh
 //! cargo run --release -p bofl-bench --bin perf_trajectory
@@ -23,10 +27,15 @@
 use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use bofl_bench::host_cores;
 use bofl_control::{ControlSimulation, LoopbackTransport};
 use bofl_fl::server::{AggregationPolicy, FederationConfig};
 use bofl_fl::RetryPolicy;
-use bofl_fleet::{FaultPlan, FleetSimulation, FleetSpec};
+use bofl_fleet::scale::ScaleConfig;
+use bofl_fleet::{
+    FaultPlan, FleetSimulation, FleetSpec, Int8Quantizer, ScaleSimulation, ShardPlan,
+    UniformSampler,
+};
 use bofl_mobo::{MoboConfig, MoboEngine, Observation, SobolSequence};
 
 /// Wall-clock repetitions per workload; the median is the headline.
@@ -41,10 +50,16 @@ struct BenchResult {
 }
 
 /// Times `f` REPS times (after one untimed warmup) and records the stats.
-fn bench(name: &str, results: &mut Vec<BenchResult>, mut f: impl FnMut()) {
+fn bench(name: &str, results: &mut Vec<BenchResult>, f: impl FnMut()) {
+    bench_reps(name, REPS, results, f);
+}
+
+/// [`bench`] with an explicit repetition count, for workloads whose
+/// single run is long enough to make REPS wasteful.
+fn bench_reps(name: &str, reps: usize, results: &mut Vec<BenchResult>, mut f: impl FnMut()) {
     f(); // warmup: fault in code paths and allocator arenas
-    let mut samples_ms = Vec::with_capacity(REPS);
-    for _ in 0..REPS {
+    let mut samples_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
         let start = Instant::now();
         f();
         samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
@@ -56,7 +71,7 @@ fn bench(name: &str, results: &mut Vec<BenchResult>, mut f: impl FnMut()) {
     println!("{name:<42} median {median_ms:>9.2} ms  (min {min_ms:.2}, mean {mean_ms:.2})");
     results.push(BenchResult {
         name: name.to_string(),
-        reps: REPS,
+        reps,
         median_ms,
         min_ms,
         mean_ms,
@@ -151,6 +166,36 @@ fn round_loop_workloads(results: &mut Vec<BenchResult>) {
     });
 }
 
+/// The hierarchical-aggregation headline: one million registered
+/// clients, 100 rounds, 64 shards, int8-quantized uplinks, the full
+/// fault stack. One rep is a whole simulated deployment, so three reps
+/// suffice for a stable median.
+fn sharded_scale_workload(results: &mut Vec<BenchResult>) {
+    let config = ScaleConfig {
+        fleet_size: 1_000_000,
+        cohort: 4_096,
+        rounds: 100,
+        dim: 64,
+        seed: FLEET_SEED,
+        shard_plan: ShardPlan::with_shards(64),
+        workers: host_cores(),
+        ..ScaleConfig::default()
+    };
+    bench_reps("round/sharded_1m_clients_100r_64s", 3, results, || {
+        ScaleSimulation::builder(config)
+            .sampler(UniformSampler)
+            .compressor(Int8Quantizer)
+            .faults(
+                FaultPlan::new(FLEET_SEED ^ 0xFA17)
+                    .with_dropout(0.02)
+                    .with_stragglers(0.08, (1.2, 3.0))
+                    .with_upload_failures(0.03),
+            )
+            .build()
+            .run();
+    });
+}
+
 /// Days-since-epoch → `YYYY-MM-DD` (Howard Hinnant's civil-date
 /// algorithm); avoids any date dependency.
 fn utc_date_string() -> String {
@@ -196,12 +241,13 @@ fn to_json(date: &str, cores: usize, results: &[BenchResult]) -> String {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = host_cores();
     println!("perf trajectory: {REPS} reps/workload, {cores} cores\n");
 
     let mut results = Vec::new();
     mobo_workloads(&mut results);
     round_loop_workloads(&mut results);
+    sharded_scale_workload(&mut results);
 
     let date = utc_date_string();
     let json = to_json(&date, cores, &results);

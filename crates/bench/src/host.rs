@@ -1,0 +1,58 @@
+//! Host introspection for benchmark artifacts.
+
+use std::num::NonZeroUsize;
+
+/// Number of CPU cores the host exposes, for `BENCH_*.json` provenance.
+///
+/// [`std::thread::available_parallelism`] alone under-reports on hosts
+/// where the process is pinned to a subset of cores or confined by a
+/// cgroup quota — exactly the environments CI benches run in. Cross-check
+/// it against the physical `processor` count in `/proc/cpuinfo` (Linux;
+/// absent elsewhere) and report the larger of the two, never less than 1.
+pub fn host_cores() -> usize {
+    let available = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    available.max(cpuinfo_processors().unwrap_or(0)).max(1)
+}
+
+/// `processor` entries in `/proc/cpuinfo`, if the file exists and lists
+/// any.
+fn cpuinfo_processors() -> Option<usize> {
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    let count = cpuinfo
+        .lines()
+        .filter(|l| {
+            l.split(':')
+                .next()
+                .is_some_and(|key| key.trim() == "processor")
+        })
+        .count();
+    (count > 0).then_some(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_cores_is_at_least_one_and_consistent() {
+        let cores = host_cores();
+        assert!(cores >= 1);
+        // Never less than what the runtime itself reports.
+        let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(cores >= available);
+        // Deterministic within a process.
+        assert_eq!(cores, host_cores());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn cpuinfo_parse_agrees_with_proc() {
+        // On Linux /proc/cpuinfo exists; the parser must find every core
+        // the kernel lists (cores, not model lines).
+        let n = cpuinfo_processors().expect("/proc/cpuinfo readable on linux");
+        assert!(n >= 1);
+        assert!(host_cores() >= n);
+    }
+}

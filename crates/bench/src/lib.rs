@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod host;
 pub mod report;
 
+pub use host::host_cores;
 pub use report::{Report, Table};

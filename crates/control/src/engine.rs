@@ -44,14 +44,17 @@
 //! the journal this produces is byte-identical at any worker count and
 //! any transport lane count.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use bofl_fl::client::FlClient;
 use bofl_fl::engine::{ClientJob, ClientOutcome, RoundEngine};
 use bofl_fl::network::RetryPolicy;
 use bofl_fl::server::AggregationPolicy;
+use bofl_fleet::compress::{CompressedUpdate, Compressor};
 use bofl_fleet::engine::upload_backoff_seed;
-use bofl_fleet::fault::{ChurnStatus, FaultPlan};
+use bofl_fleet::fault::{stream_seed, ChurnStatus, FaultPlan};
+use bofl_fleet::shard::ShardPlan;
 use bofl_fleet::FleetEngine;
 
 use crate::chaos::{ChaosPlan, ChaosTransport};
@@ -60,6 +63,11 @@ use crate::liveness::LivenessPolicy;
 use crate::plane::ControlPlane;
 use crate::state::{ClientEvent, ClientState, TransitionError};
 use crate::transport::{Envelope, Transport, VirtualTransport};
+
+/// Salt for the per-`(round, client)` compression streams — the same
+/// stream family `bofl_fleet::scale` uses, so an engine and a scale
+/// simulation given the same seed quantize identically.
+const COMPRESS_SALT: u64 = 0xC0_4B_1E_55_ED_B1_75;
 
 /// A shared, lockable handle onto an engine's [`ControlPlane`]. The
 /// federation owns the boxed engine, so callers that want to read the
@@ -83,6 +91,17 @@ pub struct EventDrivenEngine {
     /// Over-selection escalation armed by a degraded close: the next
     /// round's close target widens to the full admitted cohort.
     escalated: bool,
+    /// Hierarchical aggregation accounting: the runnable cohort (id
+    /// order) is partitioned into contiguous shards, each with a local
+    /// quorum of `ceil(members × shard_quorum_fraction)`.
+    shard_plan: Option<ShardPlan>,
+    shard_quorum_fraction: f64,
+    /// Uplink encoder: updates are compressed (and decoded back, so the
+    /// server aggregates exactly the lossy bytes) at send time.
+    compressor: Option<Box<dyn Compressor>>,
+    compress_seed: u64,
+    /// Per-client error-feedback residuals carried across rounds.
+    residuals: HashMap<usize, Vec<f64>>,
     /// Virtual clock: simulated seconds since the run began. Advances to
     /// each round's close time.
     now_s: f64,
@@ -104,6 +123,11 @@ impl EventDrivenEngine {
             transport: Box::new(VirtualTransport),
             liveness: LivenessPolicy::none(),
             escalated: false,
+            shard_plan: None,
+            shard_quorum_fraction: 0.5,
+            compressor: None,
+            compress_seed: 0,
+            residuals: HashMap::new(),
             now_s: 0.0,
             label: format!("event-driven({workers} workers)"),
         }
@@ -175,6 +199,50 @@ impl EventDrivenEngine {
     #[must_use]
     pub fn with_liveness(mut self, liveness: LivenessPolicy) -> Self {
         self.liveness = liveness;
+        self
+    }
+
+    /// Arms hierarchical shard accounting: each round's runnable cohort
+    /// is partitioned by `plan` into contiguous id-ordered shards, each
+    /// closing against a local quorum of
+    /// `ceil(members × quorum_fraction)`. A shard that falls short is a
+    /// *shortfall*: the round close records it, and every member of the
+    /// starved shard resets with
+    /// [`EventCause::ShardQuorumShortfall`] instead of `RoundReset`.
+    /// Accounting only — no accepted update is ever discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_shard_plan(mut self, plan: ShardPlan, quorum_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&quorum_fraction),
+            "shard quorum fraction must be in [0, 1]"
+        );
+        self.shard_plan = Some(plan);
+        self.shard_quorum_fraction = quorum_fraction;
+        self
+    }
+
+    /// Arms an uplink compressor: every finished update is encoded at
+    /// send time with a per-`(round, client)` stream seed derived from
+    /// `seed`, decoded back in place (so aggregation sees exactly the
+    /// lossy bytes the wire carried), and its compressed/raw byte counts
+    /// flow into the round's [`crate::transport::WireStats`]. Error
+    /// feedback is always on: a per-client residual carries what each
+    /// encoding could not express into the next round.
+    #[must_use]
+    pub fn with_compressor(self, compressor: impl Compressor + 'static, seed: u64) -> Self {
+        self.with_boxed_compressor(Box::new(compressor), seed)
+    }
+
+    /// [`EventDrivenEngine::with_compressor`] for an already-boxed
+    /// encoder.
+    #[must_use]
+    pub fn with_boxed_compressor(mut self, compressor: Box<dyn Compressor>, seed: u64) -> Self {
+        self.compressor = Some(compressor);
+        self.compress_seed = seed;
         self
     }
 
@@ -417,6 +485,32 @@ impl RoundEngine for EventDrivenEngine {
             t_end = t_end.max(t_fin);
         }
 
+        // 4b'. The uplink encoder. Every finisher compresses its update
+        //      at send time (id order — reporting is built in id order),
+        //      then decodes it back in place so aggregation sees exactly
+        //      the lossy bytes the wire carried. Error-feedback residuals
+        //      persist per client across rounds.
+        let mut bytes_of: Vec<(u64, u64)> = Vec::new();
+        if let Some(compressor) = &self.compressor {
+            bytes_of.resize(clients.len(), (0, 0));
+            let mut buf = CompressedUpdate::new();
+            let mut decoded: Vec<f64> = Vec::new();
+            for &(_, idx, _) in &reporting {
+                let id = outcomes[idx].client_id;
+                let seed = stream_seed(self.compress_seed, round, id, COMPRESS_SALT);
+                let residual = self.residuals.entry(id).or_default();
+                compressor.compress(
+                    &outcomes[idx].result.parameters,
+                    seed,
+                    Some(residual),
+                    &mut buf,
+                );
+                bytes_of[id] = (buf.wire_bytes(), buf.raw_bytes());
+                buf.decode_into(&mut decoded);
+                outcomes[idx].result.parameters.clone_from(&decoded);
+            }
+        }
+
         // 4b. The wire. Successful finishers hand their update to the
         //     transport; client-side upload failures never reach it. A
         //     sender with no surviving copy lost its update on the wire.
@@ -438,7 +532,16 @@ impl RoundEngine for EventDrivenEngine {
                 });
             }
         }
-        let carried = self.transport.carry(round, t0, &envelopes);
+        let mut carried = self.transport.carry(round, t0, &envelopes);
+        // Byte accounting: only envelopes actually handed to the
+        // transport spent uplink bytes (client-side failures never sent).
+        if !bytes_of.is_empty() {
+            for e in &envelopes {
+                let (wire, raw) = bytes_of[e.client_id];
+                carried.stats.bytes_on_wire += wire;
+                carried.stats.bytes_raw += raw;
+            }
+        }
         let mut arrived = vec![false; clients.len()];
         for d in &carried.deliveries {
             arrived[d.client_id] = true;
@@ -646,7 +749,44 @@ impl RoundEngine for EventDrivenEngine {
                 outcomes[*idx].upload_failed = true;
             }
         }
-        plane.close_round(round, t_close, accepted, quorum, closed_early, degraded);
+        // Per-shard quorum accounting (states still reflect the close —
+        // the reset loop below has not run). Shard membership is the
+        // runnable cohort in id order, partitioned contiguously by the
+        // plan, exactly as the sharded aggregator folds it.
+        let mut starved = vec![false; clients.len()];
+        let (shards, shard_shortfalls) = match self.shard_plan {
+            Some(plan) if !runnable.is_empty() => {
+                let count = plan.shard_count(runnable.len());
+                let mut shortfalls = 0usize;
+                for range in plan.ranges(runnable.len()) {
+                    let members = &runnable[range];
+                    let accepted_here = members
+                        .iter()
+                        .filter(|j| plane.state(j.client_id) == ClientState::Aggregated)
+                        .count();
+                    let local_quorum =
+                        (members.len() as f64 * self.shard_quorum_fraction).ceil() as usize;
+                    if accepted_here < local_quorum {
+                        shortfalls += 1;
+                        for j in members {
+                            starved[j.client_id] = true;
+                        }
+                    }
+                }
+                (count, shortfalls)
+            }
+            _ => (0, 0),
+        };
+        plane.close_round(
+            round,
+            t_close,
+            accepted,
+            quorum,
+            closed_early,
+            degraded,
+            shards,
+            shard_shortfalls,
+        );
         plane.record_wire(round, carried.stats);
         if live {
             self.escalated = degraded;
@@ -663,7 +803,15 @@ impl RoundEngine for EventDrivenEngine {
                     ));
                 }
                 ClientState::Aggregated | ClientState::Dropped => {
-                    must(plane.apply(id, ClientEvent::Reset, EventCause::RoundReset, round, t_end));
+                    // A member of a starved shard carries the shard's
+                    // distress signal on its reset edge — same transition,
+                    // different cause, so replay is untouched.
+                    let cause = if starved[id] {
+                        EventCause::ShardQuorumShortfall
+                    } else {
+                        EventCause::RoundReset
+                    };
+                    must(plane.apply(id, ClientEvent::Reset, cause, round, t_end));
                 }
                 ClientState::Idle | ClientState::Departed => {}
                 other => panic!("client {id} still `{other}` at round close"),

@@ -73,6 +73,10 @@ pub enum EventCause {
     /// that outlived the round) and no liveness tracker was armed to
     /// notice earlier.
     TransportLoss = 18,
+    /// The client's aggregator shard closed the round under its local
+    /// quorum — the client's reset carries the shard's distress signal so
+    /// an operator can localize *where* in the tree the cohort starved.
+    ShardQuorumShortfall = 19,
 }
 
 impl EventCause {
@@ -98,6 +102,7 @@ impl EventCause {
             EventCause::LivenessHeal => "liveness_heal",
             EventCause::LivenessExpired => "liveness_expired",
             EventCause::TransportLoss => "transport_loss",
+            EventCause::ShardQuorumShortfall => "shard_quorum_shortfall",
         }
     }
 }
@@ -184,6 +189,11 @@ pub struct RoundClose {
     /// been accepted instead of waiting. A degraded close arms
     /// over-selection escalation for the next round.
     pub degraded: bool,
+    /// How many aggregator shards the round's cohort was partitioned
+    /// into (`0` when no shard plan was armed).
+    pub shards: usize,
+    /// How many of those shards closed under their local quorum.
+    pub shard_shortfalls: usize,
 }
 
 /// A bounded ring of [`EventEntry`] with a never-resetting sequence
@@ -279,6 +289,15 @@ impl EventJournal {
             }
         }
         (arrivals, departures)
+    }
+
+    /// Count resets that carried the shard-quorum-shortfall cause in
+    /// `round` — members of shards that closed starved.
+    pub fn shard_shortfall_resets(&self, round: u32) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.round == round && e.cause == EventCause::ShardQuorumShortfall)
+            .count()
     }
 
     /// Count `(suspected, expired, healed)` liveness events recorded for

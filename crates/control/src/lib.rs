@@ -102,6 +102,10 @@ pub mod prelude {
     };
     pub use bofl_fl::network::{NetworkModel, RetryPolicy};
     pub use bofl_fl::server::AggregationPolicy;
+    pub use bofl_fleet::compress::{
+        CompressedUpdate, Compressor, Int8Quantizer, NoCompression, TopKSparsifier,
+    };
     pub use bofl_fleet::fault::{ChurnStatus, FaultPlan};
     pub use bofl_fleet::generator::FleetSpec;
+    pub use bofl_fleet::shard::ShardPlan;
 }

@@ -101,7 +101,11 @@ impl ControlPlane {
         Ok(to)
     }
 
-    /// Record how a round ended.
+    /// Record how a round ended. `shards` is the number of aggregator
+    /// shards the round ran with (0 when no shard plan was armed) and
+    /// `shard_shortfalls` counts shards that closed below their local
+    /// quorum.
+    #[allow(clippy::too_many_arguments)]
     pub fn close_round(
         &mut self,
         round: usize,
@@ -110,6 +114,8 @@ impl ControlPlane {
         quorum: usize,
         closed_early: bool,
         degraded: bool,
+        shards: usize,
+        shard_shortfalls: usize,
     ) {
         self.closes.push(RoundClose {
             round: round as u32,
@@ -119,6 +125,8 @@ impl ControlPlane {
             quorum_met: accepted >= quorum,
             closed_early,
             degraded,
+            shards,
+            shard_shortfalls,
         });
     }
 
@@ -322,14 +330,17 @@ mod tests {
     #[test]
     fn close_round_records_quorum_bookkeeping() {
         let mut plane = ControlPlane::new(4);
-        plane.close_round(0, 30.0, 3, 2, true, false);
-        plane.close_round(1, 61.5, 1, 2, false, true);
+        plane.close_round(0, 30.0, 3, 2, true, false, 0, 0);
+        plane.close_round(1, 61.5, 1, 2, false, true, 4, 1);
         assert_eq!(plane.closes().len(), 2);
         assert!(plane.closes()[0].quorum_met);
         assert!(plane.closes()[0].closed_early);
         assert!(!plane.closes()[0].degraded);
+        assert_eq!(plane.closes()[0].shards, 0);
         assert!(!plane.closes()[1].quorum_met);
         assert!(plane.closes()[1].degraded);
+        assert_eq!(plane.closes()[1].shards, 4);
+        assert_eq!(plane.closes()[1].shard_shortfalls, 1);
     }
 
     #[test]

@@ -10,9 +10,11 @@ use crate::transport::Transport;
 use bofl::task::PaceController;
 use bofl_fl::network::RetryPolicy;
 use bofl_fl::server::{Federation, FederationConfig, RunHistory};
+use bofl_fleet::compress::Compressor;
 use bofl_fleet::fault::FaultPlan;
 use bofl_fleet::generator::FleetSpec;
 use bofl_fleet::metrics::FleetMetrics;
+use bofl_fleet::shard::ShardPlan;
 use std::path::Path;
 
 /// A ready-to-run event-driven fleet simulation. Build one with
@@ -52,6 +54,8 @@ impl ControlSimulation {
             transport: None,
             chaos: ChaosPlan::none(),
             liveness: LivenessPolicy::none(),
+            shard_plan: None,
+            compressor: None,
         }
     }
 
@@ -80,6 +84,12 @@ impl ControlSimulation {
                 }
                 let (suspected, expired, healed) = plane.journal().liveness_counts(round as u32);
                 metrics.annotate_liveness(round, suspected, expired, healed);
+                if let Some(close) = plane.closes().iter().find(|c| c.round == round as u32) {
+                    metrics.annotate_shards(round, close.shards, close.shard_shortfalls);
+                }
+                if let Some(wire) = plane.wire_stats(round) {
+                    metrics.annotate_wire_bytes(round, wire.bytes_on_wire, wire.bytes_raw);
+                }
             }
             rounds.push(record);
         }
@@ -133,6 +143,14 @@ impl ControlRunReport {
         self.closes.iter().filter(|c| c.closed_early).count()
     }
 
+    /// Rounds in which at least one shard closed below its local quorum.
+    pub fn shard_shortfall_rounds(&self) -> usize {
+        self.closes
+            .iter()
+            .filter(|c| c.shard_shortfalls > 0)
+            .count()
+    }
+
     /// Writes the run's artifacts into `dir`: `metrics.csv` (fleet
     /// metrics with churn columns), `journal.csv` and `journal.jsonl`
     /// (the event journal).
@@ -159,6 +177,8 @@ pub struct ControlSimulationBuilder {
     transport: Option<Box<dyn Transport>>,
     chaos: ChaosPlan,
     liveness: LivenessPolicy,
+    shard_plan: Option<(ShardPlan, f64)>,
+    compressor: Option<Box<dyn Compressor>>,
 }
 
 impl std::fmt::Debug for ControlSimulationBuilder {
@@ -248,6 +268,25 @@ impl ControlSimulationBuilder {
         self
     }
 
+    /// Arms hierarchical shard accounting: the round's runnable cohort is
+    /// partitioned by `plan`, each shard closing against a local quorum
+    /// of `ceil(members × quorum_fraction)`. Shard counts and shortfalls
+    /// surface in the round-close records and the metrics CSV.
+    #[must_use]
+    pub fn shard_plan(mut self, plan: ShardPlan, quorum_fraction: f64) -> Self {
+        self.shard_plan = Some((plan, quorum_fraction));
+        self
+    }
+
+    /// Arms an uplink compressor (stream seeds derive from the federation
+    /// seed). Compressed/raw byte counts surface in the wire statistics
+    /// and the metrics CSV.
+    #[must_use]
+    pub fn compressor(mut self, compressor: impl Compressor + 'static) -> Self {
+        self.compressor = Some(Box::new(compressor));
+        self
+    }
+
     /// Builds the simulation.
     pub fn build(self) -> ControlSimulation {
         let spec = self.spec;
@@ -258,6 +297,12 @@ impl ControlSimulationBuilder {
             .with_liveness(self.liveness);
         if let Some(transport) = self.transport {
             engine = engine.with_boxed_transport(transport);
+        }
+        if let Some((plan, quorum_fraction)) = self.shard_plan {
+            engine = engine.with_shard_plan(plan, quorum_fraction);
+        }
+        if let Some(compressor) = self.compressor {
+            engine = engine.with_boxed_compressor(compressor, self.config.seed);
         }
         if !self.chaos.is_none() {
             engine = engine.with_chaos(self.chaos);

@@ -70,6 +70,11 @@ pub struct WireStats {
     pub reordered: usize,
     /// Envelopes held back by an unhealed partition at send time.
     pub partition_held: usize,
+    /// Simulated application bytes actually put on the wire (compressed
+    /// encoding; `0` when the engine has no compressor armed).
+    pub bytes_on_wire: u64,
+    /// Bytes the same payloads would have cost as dense f64 updates.
+    pub bytes_raw: u64,
 }
 
 impl WireStats {
@@ -81,6 +86,8 @@ impl WireStats {
         self.duplicated += other.duplicated;
         self.reordered += other.reordered;
         self.partition_held += other.partition_held;
+        self.bytes_on_wire += other.bytes_on_wire;
+        self.bytes_raw += other.bytes_raw;
     }
 }
 
@@ -351,6 +358,8 @@ mod tests {
             duplicated: 1,
             reordered: 1,
             partition_held: 1,
+            bytes_on_wire: 100,
+            bytes_raw: 800,
         });
         total.merge(&WireStats {
             sent: 3,
@@ -359,6 +368,8 @@ mod tests {
         assert_eq!(total.sent, 8);
         assert_eq!(total.dropped, 1);
         assert_eq!(total.delayed, 2);
+        assert_eq!(total.bytes_on_wire, 100);
+        assert_eq!(total.bytes_raw, 800);
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod client;
 pub mod data;
 pub mod engine;
@@ -55,6 +56,7 @@ pub mod model;
 pub mod network;
 pub mod server;
 
+pub use aggregate::{aggregate_sharded, ShardPlan, UpdateAccumulator};
 pub use client::{FlClient, TrainingExecutor};
 pub use data::{FederatedData, SyntheticDataset};
 pub use engine::{ClientJob, ClientOutcome, RoundDeadline, RoundEngine, SequentialEngine};
@@ -67,6 +69,7 @@ pub use server::{
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::aggregate::{aggregate_sharded, ShardPlan, UpdateAccumulator};
     pub use crate::client::FlClient;
     pub use crate::data::{FederatedData, SyntheticDataset};
     pub use crate::engine::{

@@ -1,6 +1,7 @@
 //! A FedAvg server with client selection, deadline assignment and
 //! straggler handling (the workflow of the paper's Fig. 1).
 
+use crate::aggregate::{aggregate_sharded, ShardPlan, UpdateAccumulator};
 use crate::client::FlClient;
 use crate::data::{FederatedData, SyntheticDataset};
 use crate::engine::{ClientJob, ClientOutcome, RoundDeadline, RoundEngine, SequentialEngine};
@@ -247,6 +248,13 @@ pub struct Federation {
     model_bytes: f64,
     rng: StdRng,
     engine: Box<dyn RoundEngine>,
+    shard_plan: ShardPlan,
+    // Persistent aggregation buffers: the hot path folds every arrived
+    // update into fixed-point accumulators and never clones a parameter
+    // vector, so steady-state rounds allocate nothing here.
+    agg_root: UpdateAccumulator,
+    agg_shard: UpdateAccumulator,
+    avg_buf: Vec<f64>,
 }
 
 impl std::fmt::Debug for Federation {
@@ -269,6 +277,7 @@ impl Federation {
             ),
             task: None,
             engine: Box::new(SequentialEngine::new()),
+            shard_plan: ShardPlan::flat(),
         }
     }
 
@@ -386,23 +395,28 @@ impl Federation {
             .map(|o| o.client_id)
             .collect();
 
-        // 5. FedAvg aggregation, weighted by sample counts.
-        let updates: Vec<(&Vec<f64>, usize)> = outcomes
+        // 5. Hierarchical FedAvg, weighted by sample counts: the cohort's
+        //    arrived updates (canonical id order) are folded shard-by-shard
+        //    into fixed-point partial sums and merged at the root, so the
+        //    result is byte-identical at any shard count — `ShardPlan::flat`
+        //    *is* the vanilla single-pass server. Updates are borrowed, not
+        //    cloned, and the accumulators/mean buffer persist across rounds.
+        let updates: Vec<(&[f64], u64)> = outcomes
             .iter()
             .filter(|o| o.aggregatable())
-            .map(|o| (&o.result.parameters, o.result.samples))
+            .map(|o| (o.result.parameters.as_slice(), o.result.samples as u64))
             .collect();
-        if !updates.is_empty() {
-            let total: f64 = updates.iter().map(|(_, n)| *n as f64).sum();
-            let dim = updates[0].0.len();
-            let mut avg = vec![0.0; dim];
-            for (params, n) in &updates {
-                let w = *n as f64 / total;
-                for (a, p) in avg.iter_mut().zip(params.iter()) {
-                    *a += w * p;
-                }
+        if let Some(dim) = updates.first().map(|(p, _)| p.len()) {
+            if aggregate_sharded(
+                self.shard_plan,
+                dim,
+                &updates,
+                &mut self.agg_root,
+                &mut self.agg_shard,
+                &mut self.avg_buf,
+            ) {
+                self.global.set_parameters(&self.avg_buf);
             }
-            self.global.set_parameters(&avg);
         }
 
         // Quorum accounting: every arrived update was aggregated above —
@@ -462,6 +476,7 @@ pub struct FederationBuilder {
     controller_factory: Box<dyn Fn(usize) -> Box<dyn PaceController>>,
     task: Option<FlTask>,
     engine: Box<dyn RoundEngine>,
+    shard_plan: ShardPlan,
 }
 
 impl std::fmt::Debug for FederationBuilder {
@@ -504,6 +519,15 @@ impl FederationBuilder {
     /// yields a trace identical to the sequential one.
     pub fn engine(mut self, engine: impl RoundEngine + 'static) -> Self {
         self.engine = Box::new(engine);
+        self
+    }
+
+    /// Sets the aggregation [`ShardPlan`] (defaults to [`ShardPlan::flat`],
+    /// the single-pass server). Any plan produces a byte-identical global
+    /// model — sharding changes *how* the reduction is grouped, never what
+    /// it computes — so this is safe to tune purely for throughput.
+    pub fn shard_plan(mut self, plan: ShardPlan) -> Self {
+        self.shard_plan = plan;
         self
     }
 
@@ -570,6 +594,10 @@ impl FederationBuilder {
             model_bytes,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x5E_1EC7),
             engine: self.engine,
+            shard_plan: self.shard_plan,
+            agg_root: UpdateAccumulator::new(),
+            agg_shard: UpdateAccumulator::new(),
+            avg_buf: Vec::new(),
         }
     }
 }
@@ -651,6 +679,20 @@ mod tests {
     impl Federation {
         fn run_first_deadline(&mut self) -> f64 {
             self.run_round(0).deadline_s
+        }
+    }
+
+    #[test]
+    fn shard_plan_never_changes_the_run() {
+        let run = |shards: usize| {
+            let mut sim = Federation::builder(quick_config())
+                .shard_plan(ShardPlan::with_shards(shards))
+                .build();
+            sim.run()
+        };
+        let flat = run(1);
+        for shards in [2usize, 4, 16] {
+            assert_eq!(flat, run(shards), "{shards} shards must match flat");
         }
     }
 }

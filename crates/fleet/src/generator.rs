@@ -29,6 +29,18 @@ impl DeviceKind {
             DeviceKind::JetsonTx2 => Device::jetson_tx2(),
         }
     }
+
+    /// Nominal energy one full FL round costs on this board at `x_max`,
+    /// joules — the coarse per-class baseline the million-client scale
+    /// simulator uses instead of instantiating a device model per client
+    /// (the AGX finishes faster at higher power; the TX2 runs longer and
+    /// spends more in total, matching the testbed profiles).
+    pub fn nominal_round_energy_j(&self) -> f64 {
+        match self {
+            DeviceKind::JetsonAgx => 95.0,
+            DeviceKind::JetsonTx2 => 140.0,
+        }
+    }
 }
 
 impl std::fmt::Display for DeviceKind {

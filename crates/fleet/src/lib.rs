@@ -47,24 +47,42 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compress;
 pub mod engine;
 pub mod fault;
 pub mod generator;
 pub mod metrics;
+pub mod sampler;
+pub mod scale;
+pub mod shard;
 pub mod sim;
 
+pub use compress::{CompressedUpdate, Compressor, Int8Quantizer, NoCompression, TopKSparsifier};
 pub use engine::FleetEngine;
 pub use fault::{ChurnStatus, FaultDraw, FaultPlan};
 pub use generator::{ClientProfile, DeviceKind, FleetSpec};
 pub use metrics::{Distribution, FleetMetrics, FleetRoundStats};
+pub use sampler::{
+    ClientSampler, ClientStat, EnergyAwareSampler, LossStalenessSampler, UniformSampler,
+};
+pub use scale::{ScaleConfig, ScaleReport, ScaleRoundTrace, ScaleSimulation};
+pub use shard::{ShardPlan, ShardRoundStats, UpdateAccumulator};
 pub use sim::{FleetRunReport, FleetSimulation, FleetSimulationBuilder};
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::compress::{
+        CompressedUpdate, Compressor, Int8Quantizer, NoCompression, TopKSparsifier,
+    };
     pub use crate::engine::FleetEngine;
     pub use crate::fault::{ChurnStatus, FaultDraw, FaultPlan};
     pub use crate::generator::{ClientProfile, DeviceKind, FleetSpec};
     pub use crate::metrics::{Distribution, FleetMetrics, FleetRoundStats};
+    pub use crate::sampler::{
+        ClientSampler, ClientStat, EnergyAwareSampler, LossStalenessSampler, UniformSampler,
+    };
+    pub use crate::scale::{ScaleConfig, ScaleReport, ScaleRoundTrace, ScaleSimulation};
+    pub use crate::shard::{ShardPlan, ShardRoundStats, UpdateAccumulator};
     pub use crate::sim::{FleetRunReport, FleetSimulation, FleetSimulationBuilder};
     pub use bofl_fl::network::RetryPolicy;
     pub use bofl_fl::server::AggregationPolicy;

@@ -121,6 +121,17 @@ pub struct FleetRoundStats {
     pub expired: usize,
     /// Suspected clients whose update arrived after all (healed).
     pub healed: usize,
+    /// Aggregator shards the round ran with (0 = no shard plan armed).
+    /// Annotated from the control plane's round-close records.
+    pub shards: usize,
+    /// Shards that closed below their local quorum this round.
+    pub shard_shortfalls: usize,
+    /// Bytes the round's accepted-and-failed uploads put on the wire
+    /// after compression (0 when no compressor is armed). Annotated from
+    /// the transport's wire statistics.
+    pub wire_bytes: u64,
+    /// Bytes the same uploads would have occupied uncompressed.
+    pub wire_raw_bytes: u64,
     /// Clients per controller phase:
     /// `[none, random exploration, pareto construction, exploitation]`.
     pub phase_counts: [usize; 4],
@@ -181,6 +192,10 @@ impl FleetRoundStats {
             suspected: 0,
             expired: 0,
             healed: 0,
+            shards: 0,
+            shard_shortfalls: 0,
+            wire_bytes: 0,
+            wire_raw_bytes: 0,
             phase_counts,
             suggest_ms: Distribution::of(
                 &outcomes
@@ -325,6 +340,44 @@ impl FleetMetrics {
         }
     }
 
+    /// Annotates an already-recorded round with its shard-plan
+    /// bookkeeping from the control plane's round-close record. No-op if
+    /// the round was never recorded.
+    pub fn annotate_shards(&mut self, round: usize, shards: usize, shard_shortfalls: usize) {
+        if let Some(stats) = self.rounds.iter_mut().find(|r| r.round == round) {
+            stats.shards = shards;
+            stats.shard_shortfalls = shard_shortfalls;
+        }
+    }
+
+    /// Annotates an already-recorded round with the uplink's byte
+    /// accounting from the transport's wire statistics. No-op if the
+    /// round was never recorded.
+    pub fn annotate_wire_bytes(&mut self, round: usize, wire_bytes: u64, wire_raw_bytes: u64) {
+        if let Some(stats) = self.rounds.iter_mut().find(|r| r.round == round) {
+            stats.wire_bytes = wire_bytes;
+            stats.wire_raw_bytes = wire_raw_bytes;
+        }
+    }
+
+    /// Rounds in which at least one shard closed below its local quorum.
+    pub fn shard_shortfall_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.shard_shortfalls > 0)
+            .count()
+    }
+
+    /// Total compressed uplink bytes across recorded rounds.
+    pub fn wire_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.wire_bytes).sum()
+    }
+
+    /// Total uncompressed-equivalent uplink bytes across recorded rounds.
+    pub fn wire_raw_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.wire_raw_bytes).sum()
+    }
+
     /// Total updates lost on the wire across recorded rounds.
     pub fn chaos_dropped(&self) -> usize {
         self.rounds.iter().map(|r| r.chaos_dropped).sum()
@@ -348,6 +401,7 @@ quorum,quorum_shortfall,upload_retries,recovered_uploads,escalated_jobs,quaranti
 churn_arrivals,churn_departures,\
 chaos_dropped,chaos_delayed,chaos_duplicated,chaos_reordered,chaos_partition_held,\
 suspected,expired,healed,\
+shards,shard_shortfalls,wire_bytes,wire_raw_bytes,\
 phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
 
     /// Renders all recorded rounds as CSV. Formatting is fixed-precision,
@@ -358,7 +412,7 @@ phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
         out.push('\n');
         for r in &self.rounds {
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.4}\n",
+                "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.4}\n",
                 r.round,
                 r.selected,
                 r.aggregated,
@@ -389,6 +443,10 @@ phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
                 r.suspected,
                 r.expired,
                 r.healed,
+                r.shards,
+                r.shard_shortfalls,
+                r.wire_bytes,
+                r.wire_raw_bytes,
                 r.phase_counts[0],
                 r.phase_counts[1],
                 r.phase_counts[2],
@@ -607,6 +665,27 @@ mod tests {
         let header = csv.lines().next().unwrap();
         assert!(header.contains("chaos_partition_held"));
         assert!(header.contains(",suspected,expired,healed,"));
+        let cols = header.split(',').count();
+        assert!(csv.lines().skip(1).all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn shard_and_wire_annotations_surface_in_csv() {
+        let mut m = FleetMetrics::new();
+        m.record(&record(0), &[outcome(0, 10.0, 5.0, true)]);
+        m.annotate_shards(0, 16, 2);
+        m.annotate_wire_bytes(0, 1_024, 8_192);
+        m.annotate_shards(9, 1, 1); // unknown round: ignored
+        m.annotate_wire_bytes(9, 1, 1);
+        let s = &m.rounds()[0];
+        assert_eq!((s.shards, s.shard_shortfalls), (16, 2));
+        assert_eq!((s.wire_bytes, s.wire_raw_bytes), (1_024, 8_192));
+        assert_eq!(m.shard_shortfall_rounds(), 1);
+        assert_eq!(m.wire_bytes(), 1_024);
+        assert_eq!(m.wire_raw_bytes(), 8_192);
+        let csv = m.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains(",shards,shard_shortfalls,wire_bytes,wire_raw_bytes,"));
         let cols = header.split(',').count();
         assert!(csv.lines().skip(1).all(|l| l.split(',').count() == cols));
     }

@@ -1,0 +1,398 @@
+//! Pluggable client-sampling policies for fleets far larger than the
+//! per-round cohort.
+//!
+//! At fleet scale the server never runs *everyone*: each round it picks a
+//! cohort of a few thousand out of a registered population of up to
+//! millions. The literature (PAPERS.md: "Cost-Effective Federated
+//! Learning Design"; "Scheduling Algorithms for FL with Minimal Energy
+//! Consumption") shows the sampling distribution is a first-order lever
+//! on both convergence and energy — so it is a seam here, not a policy
+//! baked into the server.
+//!
+//! Every sampler is a pure function of `(seed, round, fleet stats)`: the
+//! same inputs yield the same cohort on any thread, any worker count, any
+//! machine running the same binary. Weighted policies use the
+//! Efraimidis–Spirakis one-pass reservoir scheme (smallest `-ln(u)/w`
+//! keys win), which gives exact weighted sampling *without replacement*
+//! in O(fleet · log cohort) with a bounded heap — no shuffling of a
+//! million-entry vector.
+
+use std::collections::BinaryHeap;
+
+use crate::fault::stream_seed;
+use crate::generator::DeviceKind;
+
+/// Salt distinguishing the sampler's draw stream from fault/chaos draws.
+const SAMPLER_SALT: u64 = 0x005A_3917_C040_57A7;
+
+/// The compact per-client record a scale fleet keeps in RAM — a few
+/// dozen bytes per client instead of a live `FlClient`, which is what
+/// makes a million-client registry a ~24 MB table rather than gigabytes
+/// of model replicas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientStat {
+    /// Client id (dense, `0..fleet_size`).
+    pub id: u32,
+    /// Local dataset size — the FedAvg aggregation weight.
+    pub samples: u32,
+    /// Estimated full-round energy at `x_max`, joules (device-class
+    /// baseline with unit-level spread).
+    pub energy_j_est: f32,
+    /// Most recently reported local training loss.
+    pub last_loss: f32,
+    /// Round this client last participated in (`u32::MAX` = never).
+    pub last_selected: u32,
+    /// The board class this client runs on.
+    pub kind: DeviceKind,
+}
+
+impl ClientStat {
+    /// Rounds since this client last participated, as of `round`
+    /// (`round + 1` when it never has — maximally stale).
+    pub fn staleness(&self, round: usize) -> u32 {
+        if self.last_selected == u32::MAX {
+            round as u32 + 1
+        } else {
+            (round as u32).saturating_sub(self.last_selected)
+        }
+    }
+}
+
+/// Chooses each round's cohort out of the registered fleet.
+///
+/// Contract: `sample` must be a pure function of its arguments, must
+/// return at most `cohort` *distinct* ids, and must leave `out` sorted
+/// ascending (the canonical cohort order every downstream consumer —
+/// shard planner, trace, journal — assumes).
+pub trait ClientSampler: Send + Sync {
+    /// Short policy name for traces and artifacts.
+    fn label(&self) -> &'static str;
+
+    /// Fills `out` with the round's cohort, sorted ascending by id.
+    fn sample(
+        &self,
+        fleet: &[ClientStat],
+        cohort: usize,
+        round: usize,
+        seed: u64,
+        out: &mut Vec<u32>,
+    );
+
+    /// Boxed clone, so engines holding a sampler stay cloneable.
+    fn clone_box(&self) -> Box<dyn ClientSampler>;
+}
+
+impl Clone for Box<dyn ClientSampler> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Uniform sampling without replacement: every client equally likely.
+/// The scale analogue of the vanilla FedAvg server (and the paper's
+/// assumption).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformSampler;
+
+/// Energy-aware sampling (AutoFL-style, paper §2.1): client weight is
+/// `energy_est^-alpha`, so efficient devices participate more often but
+/// expensive ones still appear (statistical coverage of non-IID data).
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyAwareSampler {
+    /// Preference strength (`0` = uniform; `1` = inverse-energy;
+    /// larger = greedier).
+    pub alpha: f64,
+}
+
+impl Default for EnergyAwareSampler {
+    fn default() -> Self {
+        EnergyAwareSampler { alpha: 1.0 }
+    }
+}
+
+/// Loss- and staleness-weighted sampling ("pick the clients the model
+/// has learned least from, and the ones it hasn't seen lately"):
+/// weight is `(last_loss + ε)^loss_exp · (1 + staleness)^staleness_exp`.
+#[derive(Debug, Clone, Copy)]
+pub struct LossStalenessSampler {
+    /// Exponent on the client's last reported loss.
+    pub loss_exp: f64,
+    /// Exponent on rounds-since-last-participation.
+    pub staleness_exp: f64,
+}
+
+impl Default for LossStalenessSampler {
+    fn default() -> Self {
+        LossStalenessSampler {
+            loss_exp: 1.0,
+            staleness_exp: 0.5,
+        }
+    }
+}
+
+/// A uniform draw in `(0, 1]`, pure in `(seed, round, id)`. The open
+/// lower bound keeps `ln` finite for the weighted keys.
+fn unit_draw(seed: u64, round: usize, id: u32) -> f64 {
+    let mut h = stream_seed(seed, round, id as usize, SAMPLER_SALT);
+    // splitmix64 finalizer: turns the XOR mix into well-distributed bits.
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (((h >> 11) as f64) + 1.0) / (1u64 << 53) as f64
+}
+
+/// A max-heap entry ordered by `(key, id)`; the heap keeps the cohort's
+/// *smallest* keys by evicting its largest root.
+struct HeapKey(f64, u32);
+
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq() && self.1 == other.1
+    }
+}
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Shared smallest-`cohort`-keys scan: one pass over the fleet, bounded
+/// heap, then the winners sorted ascending by id.
+fn smallest_k(
+    fleet: &[ClientStat],
+    cohort: usize,
+    out: &mut Vec<u32>,
+    mut key: impl FnMut(&ClientStat) -> f64,
+) {
+    out.clear();
+    if cohort == 0 || fleet.is_empty() {
+        return;
+    }
+    let k = cohort.min(fleet.len());
+    let mut heap: BinaryHeap<HeapKey> = BinaryHeap::with_capacity(k + 1);
+    for stat in fleet {
+        let entry = HeapKey(key(stat), stat.id);
+        if heap.len() < k {
+            heap.push(entry);
+        } else if entry < *heap.peek().expect("heap is non-empty at capacity") {
+            heap.pop();
+            heap.push(entry);
+        }
+    }
+    out.extend(heap.into_iter().map(|HeapKey(_, id)| id));
+    out.sort_unstable();
+}
+
+impl ClientSampler for UniformSampler {
+    fn label(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn sample(
+        &self,
+        fleet: &[ClientStat],
+        cohort: usize,
+        round: usize,
+        seed: u64,
+        out: &mut Vec<u32>,
+    ) {
+        smallest_k(fleet, cohort, out, |s| unit_draw(seed, round, s.id));
+    }
+
+    fn clone_box(&self) -> Box<dyn ClientSampler> {
+        Box::new(*self)
+    }
+}
+
+impl ClientSampler for EnergyAwareSampler {
+    fn label(&self) -> &'static str {
+        "energy_aware"
+    }
+
+    fn sample(
+        &self,
+        fleet: &[ClientStat],
+        cohort: usize,
+        round: usize,
+        seed: u64,
+        out: &mut Vec<u32>,
+    ) {
+        let alpha = self.alpha;
+        smallest_k(fleet, cohort, out, |s| {
+            let u = unit_draw(seed, round, s.id);
+            let energy = (s.energy_j_est as f64).max(1e-6);
+            // Efraimidis–Spirakis key for weight energy^-alpha.
+            -u.ln() * energy.powf(alpha)
+        });
+    }
+
+    fn clone_box(&self) -> Box<dyn ClientSampler> {
+        Box::new(*self)
+    }
+}
+
+impl ClientSampler for LossStalenessSampler {
+    fn label(&self) -> &'static str {
+        "loss_staleness"
+    }
+
+    fn sample(
+        &self,
+        fleet: &[ClientStat],
+        cohort: usize,
+        round: usize,
+        seed: u64,
+        out: &mut Vec<u32>,
+    ) {
+        smallest_k(fleet, cohort, out, |s| {
+            let u = unit_draw(seed, round, s.id);
+            let loss = (s.last_loss as f64 + 0.05).max(1e-6);
+            let fresh = 1.0 + s.staleness(round) as f64;
+            let w = loss.powf(self.loss_exp) * fresh.powf(self.staleness_exp);
+            -u.ln() / w
+        });
+    }
+
+    fn clone_box(&self) -> Box<dyn ClientSampler> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<ClientStat> {
+        (0..n)
+            .map(|id| ClientStat {
+                id: id as u32,
+                samples: 100,
+                energy_j_est: if id % 2 == 0 { 50.0 } else { 200.0 },
+                last_loss: if id < n / 2 { 0.2 } else { 2.0 },
+                last_selected: u32::MAX,
+                kind: DeviceKind::JetsonAgx,
+            })
+            .collect()
+    }
+
+    fn assert_cohort_shape(out: &[u32], cohort: usize, fleet_len: usize) {
+        assert_eq!(out.len(), cohort.min(fleet_len));
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        assert!(out.iter().all(|&id| (id as usize) < fleet_len));
+    }
+
+    #[test]
+    fn samplers_are_deterministic_and_canonical() {
+        let fleet = fleet(500);
+        let samplers: Vec<Box<dyn ClientSampler>> = vec![
+            Box::new(UniformSampler),
+            Box::new(EnergyAwareSampler::default()),
+            Box::new(LossStalenessSampler::default()),
+        ];
+        for s in &samplers {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            s.sample(&fleet, 64, 3, 42, &mut a);
+            s.sample(&fleet, 64, 3, 42, &mut b);
+            assert_eq!(a, b, "{} must be pure", s.label());
+            assert_cohort_shape(&a, 64, fleet.len());
+            s.sample(&fleet, 64, 4, 42, &mut b);
+            assert_ne!(a, b, "{} must vary by round", s.label());
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_fleet_over_rounds() {
+        let fleet = fleet(200);
+        let mut seen = [false; 200];
+        let mut out = Vec::new();
+        for round in 0..40 {
+            UniformSampler.sample(&fleet, 20, round, 7, &mut out);
+            for &id in &out {
+                seen[id as usize] = true;
+            }
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(
+            covered > 180,
+            "uniform should touch most clients: {covered}"
+        );
+    }
+
+    #[test]
+    fn energy_aware_prefers_cheap_clients() {
+        let fleet = fleet(1000);
+        let mut out = Vec::new();
+        let mut cheap = 0usize;
+        let mut total = 0usize;
+        for round in 0..20 {
+            EnergyAwareSampler { alpha: 2.0 }.sample(&fleet, 50, round, 9, &mut out);
+            cheap += out.iter().filter(|&&id| id % 2 == 0).count();
+            total += out.len();
+        }
+        assert!(
+            cheap as f64 > total as f64 * 0.75,
+            "cheap devices should dominate: {cheap}/{total}"
+        );
+    }
+
+    #[test]
+    fn loss_weighted_prefers_high_loss_clients() {
+        let fleet = fleet(1000);
+        let mut out = Vec::new();
+        let mut lossy = 0usize;
+        let mut total = 0usize;
+        for round in 0..20 {
+            LossStalenessSampler {
+                loss_exp: 2.0,
+                staleness_exp: 0.0,
+            }
+            .sample(&fleet, 50, round, 11, &mut out);
+            lossy += out.iter().filter(|&&id| id >= 500).count();
+            total += out.len();
+        }
+        assert!(
+            lossy as f64 > total as f64 * 0.75,
+            "high-loss clients should dominate: {lossy}/{total}"
+        );
+    }
+
+    #[test]
+    fn staleness_pressure_recalls_neglected_clients() {
+        let mut fleet = fleet(100);
+        // Everyone participated recently except client 7.
+        for s in fleet.iter_mut() {
+            s.last_selected = 99;
+            s.last_loss = 1.0;
+        }
+        fleet[7].last_selected = 0;
+        let sampler = LossStalenessSampler {
+            loss_exp: 0.0,
+            staleness_exp: 4.0,
+        };
+        let mut out = Vec::new();
+        let mut hits = 0;
+        for round in 100..120 {
+            sampler.sample(&fleet, 10, round, 13, &mut out);
+            hits += usize::from(out.contains(&7));
+        }
+        assert!(
+            hits >= 18,
+            "stale client should almost always be recalled: {hits}/20"
+        );
+    }
+
+    #[test]
+    fn cohort_larger_than_fleet_returns_everyone() {
+        let fleet = fleet(8);
+        let mut out = Vec::new();
+        UniformSampler.sample(&fleet, 100, 0, 1, &mut out);
+        assert_eq!(out, (0..8).collect::<Vec<u32>>());
+    }
+}

@@ -41,6 +41,7 @@ impl FleetSimulation {
             faults: FaultPlan::none(),
             retry: RetryPolicy::none(),
             controller_factory: None,
+            shard_plan: crate::shard::ShardPlan::flat(),
         }
     }
 
@@ -97,6 +98,7 @@ pub struct FleetSimulationBuilder {
     faults: FaultPlan,
     retry: RetryPolicy,
     controller_factory: Option<ControllerFactory>,
+    shard_plan: crate::shard::ShardPlan,
 }
 
 impl std::fmt::Debug for FleetSimulationBuilder {
@@ -142,6 +144,15 @@ impl FleetSimulationBuilder {
         self
     }
 
+    /// Sets the server's aggregation shard plan (defaults to flat). Pure
+    /// execution geometry: the run's history is identical at any shard
+    /// count.
+    #[must_use]
+    pub fn shard_plan(mut self, plan: crate::shard::ShardPlan) -> Self {
+        self.shard_plan = plan;
+        self
+    }
+
     /// Sets the per-client pace-controller factory (client id →
     /// controller; defaults to the federation's default, the Performant
     /// baseline).
@@ -169,6 +180,7 @@ impl FleetSimulationBuilder {
         let rounds = self.config.rounds;
         let mut builder = Federation::builder(self.config)
             .device_factory(move |id| spec.device(id))
+            .shard_plan(self.shard_plan)
             .engine(engine);
         if let Some(f) = self.controller_factory {
             builder = builder.controller_factory(f);
