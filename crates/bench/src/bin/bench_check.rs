@@ -3,17 +3,23 @@
 //! median by more than the threshold.
 //!
 //! ```sh
-//! cargo run --release -p bofl-bench --bin bench_check -- <baseline> <candidate>
+//! cargo run --release -p bofl-bench --bin bench_check -- <baseline> <candidate> \
+//!     [--require <prefix>]...
 //! ```
 //!
-//! Each argument is either a `BENCH_*.json` file or a directory, in which
-//! case the lexicographically last `BENCH_*.json` inside it is used (the
-//! dated naming scheme makes that the newest). Workloads only present on
-//! one side are reported but never gate — new benches must be landable
-//! without a baseline.
+//! Each positional argument is either a `BENCH_*.json` file or a
+//! directory, in which case the lexicographically last `BENCH_*.json`
+//! inside it is used (the dated naming scheme makes that the newest).
+//! Workloads only present on one side are reported but never gate — new
+//! benches must be landable without a baseline; on the *next* run they
+//! are in the committed artifact and gate like any other.
 //!
-//! Exit codes: `0` no regression, `1` at least one workload regressed,
-//! `2` usage or artifact-parsing error.
+//! `--require <prefix>` (repeatable) additionally fails the gate when no
+//! candidate workload name starts with the prefix — so whole workload
+//! families (`linalg/`, `gp/`) cannot silently vanish from the harness.
+//!
+//! Exit codes: `0` no regression, `1` at least one workload regressed or
+//! a required family is missing, `2` usage or artifact-parsing error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -23,8 +29,26 @@ const THRESHOLD: f64 = 0.20;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_arg, candidate_arg] = args.as_slice() else {
-        eprintln!("usage: bench_check <baseline file|dir> <candidate file|dir>");
+    let mut positional = Vec::new();
+    let mut required_prefixes = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--require" {
+            match it.next() {
+                Some(p) => required_prefixes.push(p),
+                None => {
+                    eprintln!("bench_check: --require needs a prefix argument");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let [baseline_arg, candidate_arg] = positional.as_slice() else {
+        eprintln!(
+            "usage: bench_check <baseline file|dir> <candidate file|dir> [--require <prefix>]..."
+        );
         return ExitCode::from(2);
     };
     let (baseline_path, candidate_path) = match (
@@ -77,9 +101,17 @@ fn main() -> ExitCode {
         }
     }
 
-    if regressions > 0 {
+    let mut missing_families = 0usize;
+    for prefix in &required_prefixes {
+        if !candidate.iter().any(|(n, _)| n.starts_with(prefix)) {
+            eprintln!("bench_check: required workload family \"{prefix}*\" missing from candidate");
+            missing_families += 1;
+        }
+    }
+
+    if regressions > 0 || missing_families > 0 {
         eprintln!(
-            "\nbench_check: {regressions} workload(s) regressed beyond {:.0}%",
+            "\nbench_check: {regressions} workload(s) regressed beyond {:.0}%, {missing_families} required family(ies) missing",
             THRESHOLD * 100.0
         );
         ExitCode::from(1)

@@ -1,0 +1,167 @@
+//! Before/after kernel table: times the repo's blocked linear-algebra
+//! kernels against faithful copies of the pre-kernel-layer scalar
+//! implementations at n ∈ {64, 256, 1024, 4096} and prints the
+//! EXPERIMENTS.md markdown table.
+//!
+//! The reference implementations below are the *old* library routines
+//! (zero-skip `i,k,j` GEMM, `from_fn` transpose, sequential-sum matvec,
+//! element-indexed scalar Cholesky), copied so the table can be
+//! regenerated from any checkout without digging through git history.
+//!
+//! The large sizes run a single repetition (a 4096³ scalar GEMM takes
+//! minutes); this bin is manual — it is NOT part of the perf-trajectory
+//! gate, which sticks to sub-second workloads.
+//!
+//! ```sh
+//! cargo run --release -p bofl-bench --bin kernel_table
+//! ```
+
+use bofl_linalg::{Cholesky, Matrix};
+use std::time::Instant;
+
+/// Deterministic pseudo-random fill (SplitMix64 → [-1, 1]).
+fn fill(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        })
+        .collect()
+}
+
+/// Pre-kernel-layer GEMM: `i,k,j` accumulation with the zero-skip.
+fn old_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let aik = a[(i, k)];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += aik * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Pre-kernel-layer transpose: column-strided `from_fn` reads.
+fn old_transpose(a: &Matrix) -> Matrix {
+    Matrix::from_fn(a.cols(), a.rows(), |i, j| a[(j, i)])
+}
+
+/// Pre-kernel-layer matvec: sequential per-row sum.
+fn old_matvec(a: &Matrix, v: &[f64]) -> Vec<f64> {
+    (0..a.rows())
+        .map(|i| a.row(i).iter().zip(v).map(|(x, y)| x * y).sum())
+        .collect()
+}
+
+/// Pre-kernel-layer Cholesky: element-indexed scalar factorization.
+fn old_cholesky(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    l
+}
+
+/// Median of `reps` timed runs in milliseconds (no warmup at reps == 1).
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    if reps > 1 {
+        f(); // warmup
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn reps_for(n: usize) -> usize {
+    match n {
+        0..=128 => 20,
+        129..=512 => 5,
+        513..=2048 => 3,
+        _ => 1,
+    }
+}
+
+fn main() {
+    let sizes = [64usize, 256, 1024, 4096];
+    println!("| kernel | n | before (ms) | after (ms) | speedup |");
+    println!("|---|---|---|---|---|");
+    for &n in &sizes {
+        let reps = reps_for(n);
+        let a = Matrix::from_vec(n, n, fill(0xA ^ n as u64, n * n)).unwrap();
+        let b = Matrix::from_vec(n, n, fill(0xB ^ n as u64, n * n)).unwrap();
+        let v = fill(0xF ^ n as u64, n);
+
+        let before = time_ms(reps, || {
+            std::hint::black_box(old_matmul(&a, &b));
+        });
+        let after = time_ms(reps, || {
+            std::hint::black_box(a.matmul(&b).unwrap());
+        });
+        println!(
+            "| matmul | {n} | {before:.2} | {after:.2} | {:.2}x |",
+            before / after
+        );
+
+        let before = time_ms(reps.max(5), || {
+            std::hint::black_box(old_transpose(&a));
+        });
+        let after = time_ms(reps.max(5), || {
+            std::hint::black_box(a.transpose());
+        });
+        println!(
+            "| transpose | {n} | {before:.3} | {after:.3} | {:.2}x |",
+            before / after
+        );
+
+        let before = time_ms(reps.max(5), || {
+            std::hint::black_box(old_matvec(&a, &v));
+        });
+        let after = time_ms(reps.max(5), || {
+            std::hint::black_box(a.matvec(&v).unwrap());
+        });
+        println!(
+            "| matvec | {n} | {before:.3} | {after:.3} | {:.2}x |",
+            before / after
+        );
+
+        let mut spd = a.matmul(&a.transpose()).unwrap();
+        spd.add_diagonal(n as f64);
+        let before = time_ms(reps, || {
+            std::hint::black_box(old_cholesky(&spd));
+        });
+        let after = time_ms(reps, || {
+            std::hint::black_box(Cholesky::factor(&spd).unwrap());
+        });
+        println!(
+            "| cholesky | {n} | {before:.2} | {after:.2} | {:.2}x |",
+            before / after
+        );
+    }
+}

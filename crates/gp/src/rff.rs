@@ -1,0 +1,452 @@
+//! Sparse-spectrum (random-Fourier-feature) Gaussian-process regression.
+//!
+//! Bochner's theorem writes every stationary kernel as the Fourier
+//! transform of a spectral density; sampling `D` frequencies from that
+//! density gives the Monte-Carlo feature map
+//!
+//! ```text
+//! φ(x) = √(2σ²/D) · [cos(ω₁ᵀx + b₁), …, cos(ω_Dᵀx + b_D)]
+//! ```
+//!
+//! with `E[φ(x)ᵀφ(x')] = k(x, x')` (Rahimi & Recht; Lázaro-Gredilla et
+//! al.'s sparse-spectrum GP). Bayesian linear regression on those features
+//! then approximates the full GP posterior at `O(n·D² + D³)` fit and
+//! `O(D²)` predict cost — independent of the observation count `n`, which
+//! is the whole point: pooled fleet observations push `n` into the
+//! thousands where the exact `O(n³)/O(n²)` path collapses.
+//!
+//! The frequency draws are produced by the workspace's deterministic
+//! `StdRng` from a caller-supplied seed, so a fitted surrogate — and every
+//! suggestion an engine built on it makes — is a pure function of
+//! `(data, hyperparameters, seed)`.
+
+use crate::{GpError, KernelKind, Posterior, SurrogateModel, WarmStart};
+use bofl_linalg::{dot, solve_lower, solve_upper, Cholesky, Matrix, Standardizer};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration for fitting a [`RandomFourierFeatures`] surrogate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RffConfig {
+    /// Kernel family whose spectral density the frequencies are drawn
+    /// from (the paper's Matérn-5/2 by default).
+    pub kernel: KernelKind,
+    /// Number of random Fourier features `D`. Accuracy improves as
+    /// `O(1/√D)`; 128–256 reproduces the exact posterior to a few percent
+    /// on BoFL-scale smoothness.
+    pub n_features: usize,
+    /// Seed for the deterministic frequency/phase draws.
+    pub seed: u64,
+    /// Fixed observation-noise variance in standardized units; `None`
+    /// adopts the noise carried in [`RffConfig::hyperparameters`] (or the
+    /// heuristic default when those are absent too).
+    pub noise_variance: Option<f64>,
+    /// Kernel hyperparameters to adopt (standardized units) — typically
+    /// the engine's warm-start cache or a subsample-fitted exact GP. RFF
+    /// does no hyperparameter optimization of its own; invalid entries
+    /// (wrong dimension, non-finite or non-positive) fall back to the
+    /// same heuristic defaults the exact GP starts from.
+    pub hyperparameters: Option<WarmStart>,
+}
+
+impl Default for RffConfig {
+    fn default() -> Self {
+        RffConfig {
+            kernel: KernelKind::Matern52,
+            n_features: 128,
+            seed: 0xB0F1_0FF5,
+            noise_variance: None,
+            hyperparameters: None,
+        }
+    }
+}
+
+/// A sparse-spectrum GP surrogate: Bayesian linear regression on `D`
+/// seeded random Fourier features of the configured kernel.
+///
+/// Implements the same [`SurrogateModel`] seam as the exact
+/// [`crate::GaussianProcess`]; predictions carry the same semantics
+/// (latent-function variance, original output units). Fantasy
+/// conditioning is a rank-one Sherman–Morrison update of the explicit
+/// feature-space precision inverse, so a Kriging-believer chain costs
+/// `O(D²)` per fantasy regardless of how many observations the surrogate
+/// was fitted on.
+///
+/// # Examples
+///
+/// ```
+/// use bofl_gp::{RandomFourierFeatures, RffConfig};
+///
+/// # fn main() -> Result<(), bofl_gp::GpError> {
+/// let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 63.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).sin()).collect();
+/// let rff = RandomFourierFeatures::fit(&xs, &ys, RffConfig::default())?;
+/// let p = rff.predict(&[0.5])?;
+/// assert!((p.mean - (2.0f64).sin()).abs() < 0.2);
+/// assert!(p.variance >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomFourierFeatures {
+    /// `D × dim` spectral frequencies, lengthscale scaling baked in.
+    omega: Matrix,
+    /// `D` phases in `[0, 2π)`.
+    bias: Vec<f64>,
+    /// `√(2σ²/D)` feature amplitude.
+    feature_scale: f64,
+    /// `A⁻¹ Φᵀ y_std` posterior weight vector.
+    weights: Vec<f64>,
+    /// Explicit `(ΦᵀΦ + σₙ²I)⁻¹`, kept for `O(D²)` predictive variance
+    /// and Sherman–Morrison fantasy conditioning.
+    ainv: Matrix,
+    /// Running `Φᵀ y_std`, extended by fantasy conditioning.
+    phi_t_y: Vec<f64>,
+    y_transform: Standardizer,
+    hypers: WarmStart,
+    noise: f64,
+    n_obs: usize,
+    dim: usize,
+}
+
+impl RandomFourierFeatures {
+    /// Fits the surrogate to observations `(xs[i], ys[i])`.
+    ///
+    /// Outputs are standardized internally exactly like the exact GP's;
+    /// hyperparameters are *adopted* from the config (see
+    /// [`RffConfig::hyperparameters`]), never optimized here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::NoData`] for empty input,
+    /// [`GpError::DimensionMismatch`] for ragged/mismatched inputs or a
+    /// zero feature count, [`GpError::NonFinite`] for NaN/infinite data,
+    /// and [`GpError::Linalg`] if the feature Gram cannot be factored.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: RffConfig) -> Result<Self, GpError> {
+        if xs.is_empty() {
+            return Err(GpError::NoData);
+        }
+        if xs.len() != ys.len() {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("{} inputs but {} targets", xs.len(), ys.len()),
+            });
+        }
+        let dim = xs[0].len();
+        if dim == 0 {
+            return Err(GpError::DimensionMismatch {
+                detail: "points must have at least one dimension".into(),
+            });
+        }
+        if config.n_features == 0 {
+            return Err(GpError::DimensionMismatch {
+                detail: "at least one Fourier feature is required".into(),
+            });
+        }
+        if xs.iter().any(|x| x.len() != dim) {
+            return Err(GpError::DimensionMismatch {
+                detail: "ragged input points".into(),
+            });
+        }
+        if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite);
+        }
+
+        let y_transform = Standardizer::fit(ys).map_err(GpError::from)?;
+        let ys_std: Vec<f64> = ys.iter().map(|&y| y_transform.apply(y)).collect();
+
+        // Adopt hyperparameters with the same sanity filter the exact GP
+        // applies to warm starts.
+        let hypers = config
+            .hyperparameters
+            .as_ref()
+            .filter(|w| {
+                w.lengthscales.len() == dim
+                    && w.variance.is_finite()
+                    && w.variance > 0.0
+                    && w.noise.is_finite()
+                    && w.noise > 0.0
+                    && w.lengthscales.iter().all(|l| l.is_finite() && *l > 0.0)
+            })
+            .cloned()
+            .unwrap_or(WarmStart {
+                variance: 1.0,
+                lengthscales: vec![0.3; dim],
+                noise: 1e-3,
+            });
+        let noise = config.noise_variance.unwrap_or(hypers.noise).max(1e-9);
+
+        let d_feat = config.n_features;
+        let (omega, bias) =
+            Self::draw_spectrum(config.kernel, &hypers.lengthscales, d_feat, config.seed);
+        let feature_scale = (2.0 * hypers.variance / d_feat as f64).sqrt();
+
+        // Φ (n × D) in one GEMM: Z = X Ωᵀ, then the cosine feature map.
+        let x_mat = Matrix::from_vec(xs.len(), dim, xs.iter().flatten().copied().collect())?;
+        let mut phi = x_mat.matmul(&omega.transpose())?;
+        for i in 0..phi.rows() {
+            let row = phi.row_mut(i);
+            for (z, b) in row.iter_mut().zip(&bias) {
+                *z = feature_scale * (*z + b).cos();
+            }
+        }
+
+        // A = ΦᵀΦ + σₙ²I, factored once; the explicit inverse is then D
+        // pairs of triangular solves against unit vectors.
+        let phi_t = phi.transpose();
+        let mut a = phi_t.matmul(&phi)?;
+        a.add_diagonal(noise);
+        let chol = Cholesky::factor(&a)?;
+        let lt = chol.l().transpose();
+        let mut ainv = Matrix::zeros(d_feat, d_feat);
+        let mut e = vec![0.0; d_feat];
+        for j in 0..d_feat {
+            e[j] = 1.0;
+            let y = solve_lower(chol.l(), &e)?;
+            let col = solve_upper(&lt, &y)?;
+            for (i, v) in col.into_iter().enumerate() {
+                ainv[(i, j)] = v;
+            }
+            e[j] = 0.0;
+        }
+
+        let phi_t_y = phi_t.matvec(&ys_std)?;
+        let weights = ainv.matvec(&phi_t_y)?;
+
+        Ok(RandomFourierFeatures {
+            omega,
+            bias,
+            feature_scale,
+            weights,
+            ainv,
+            phi_t_y,
+            y_transform,
+            hypers,
+            noise,
+            n_obs: xs.len(),
+            dim,
+        })
+    }
+
+    /// Draws `d_feat` frequencies from the kernel's spectral density plus
+    /// uniform phases, fully determined by `seed`.
+    ///
+    /// Matérn-ν kernels have a multivariate Student-t spectral density
+    /// with `2ν` degrees of freedom (`ω = z·√(2ν/g)/ℓ`, `z ~ N(0, I)`,
+    /// `g ~ χ²_{2ν}`, one `g` per frequency); the squared exponential's is
+    /// Gaussian. ARD lengthscales divide per dimension.
+    fn draw_spectrum(
+        kernel: KernelKind,
+        lengthscales: &[f64],
+        d_feat: usize,
+        seed: u64,
+    ) -> (Matrix, Vec<f64>) {
+        let dim = lengthscales.len();
+        let dof = match kernel {
+            KernelKind::Matern52 => Some(5u32),
+            KernelKind::Matern32 => Some(3u32),
+            _ => None,
+        };
+        // Box–Muller with u1 in (0, 1] so ln never sees zero.
+        fn gauss(rng: &mut StdRng) -> f64 {
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut omega = Matrix::zeros(d_feat, dim);
+        let mut bias = Vec::with_capacity(d_feat);
+        for d in 0..d_feat {
+            let t_scale = match dof {
+                Some(k) => {
+                    let g: f64 = (0..k)
+                        .map(|_| gauss(&mut rng).powi(2))
+                        .sum::<f64>()
+                        .max(1e-12);
+                    (f64::from(k) / g).sqrt()
+                }
+                None => 1.0,
+            };
+            for (j, l) in lengthscales.iter().enumerate() {
+                omega[(d, j)] = gauss(&mut rng) * t_scale / l;
+            }
+            bias.push(2.0 * std::f64::consts::PI * rng.gen::<f64>());
+        }
+        (omega, bias)
+    }
+
+    /// Feature map `φ(x)` written into `out` (`len == n_features`).
+    fn features_into(&self, x: &[f64], out: &mut [f64]) {
+        for (o, d) in out.iter_mut().zip(0..self.omega.rows()) {
+            *o = self.feature_scale * (dot(self.omega.row(d), x) + self.bias[d]).cos();
+        }
+    }
+
+    fn validate_query(&self, x: &[f64]) -> Result<(), GpError> {
+        if x.len() != self.dim {
+            return Err(GpError::DimensionMismatch {
+                detail: format!("query dim {} vs model dim {}", x.len(), self.dim),
+            });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::NonFinite);
+        }
+        Ok(())
+    }
+
+    /// Shared prediction core; `phi` is caller-provided scratch so the
+    /// batch path allocates nothing per query and stays bitwise identical
+    /// to the scalar path.
+    fn predict_with_scratch(&self, x: &[f64], phi: &mut [f64]) -> Posterior {
+        self.features_into(x, phi);
+        let mean_std = dot(phi, &self.weights);
+        // Latent predictive variance σₙ²·φᵀA⁻¹φ — at zero data this is the
+        // prior σ² (A = σₙ²I), mirroring the exact GP's latent semantics.
+        let mut quad = 0.0;
+        for (d, &p) in phi.iter().enumerate() {
+            quad += p * dot(self.ainv.row(d), phi);
+        }
+        let var_std = (self.noise * quad).max(0.0);
+        Posterior {
+            mean: self.y_transform.invert(mean_std),
+            variance: var_std * self.y_transform.scale() * self.y_transform.scale(),
+        }
+    }
+
+    /// Posterior predictive distribution at `x` — `O(D²)`, independent of
+    /// the observation count.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::DimensionMismatch`] / [`GpError::NonFinite`] on invalid
+    /// queries.
+    pub fn predict(&self, x: &[f64]) -> Result<Posterior, GpError> {
+        self.validate_query(x)?;
+        let mut phi = vec![0.0; self.omega.rows()];
+        Ok(self.predict_with_scratch(x, &mut phi))
+    }
+
+    /// Batch prediction with one shared feature buffer; bitwise identical
+    /// to per-point [`RandomFourierFeatures::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RandomFourierFeatures::predict`]; the whole
+    /// batch is validated first.
+    pub fn predict_batch(&self, queries: &[Vec<f64>]) -> Result<Vec<Posterior>, GpError> {
+        for x in queries {
+            self.validate_query(x)?;
+        }
+        let mut phi = vec![0.0; self.omega.rows()];
+        Ok(queries
+            .iter()
+            .map(|x| self.predict_with_scratch(x, &mut phi))
+            .collect())
+    }
+
+    /// Returns a new surrogate conditioned on one fantasized observation
+    /// `(x, y)` — the Kriging-believer step — via a rank-one
+    /// Sherman–Morrison update of the feature-space precision inverse:
+    /// `(A + φφᵀ)⁻¹ = A⁻¹ − (A⁻¹φ)(A⁻¹φ)ᵀ / (1 + φᵀA⁻¹φ)`. Cost `O(D²)`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`RandomFourierFeatures::predict`];
+    /// [`GpError::NonFinite`] if the update denominator degenerates.
+    pub fn condition_on(&self, x: &[f64], y: f64) -> Result<RandomFourierFeatures, GpError> {
+        self.validate_query(x)?;
+        if !y.is_finite() {
+            return Err(GpError::NonFinite);
+        }
+        let d_feat = self.omega.rows();
+        let mut phi = vec![0.0; d_feat];
+        self.features_into(x, &mut phi);
+        let v = self.ainv.matvec(&phi)?;
+        let denom = 1.0 + dot(&phi, &v);
+        if !denom.is_finite() || denom <= 0.0 {
+            return Err(GpError::NonFinite);
+        }
+        let mut ainv = self.ainv.clone();
+        for i in 0..d_feat {
+            let vi_over = v[i] / denom;
+            let row = ainv.row_mut(i);
+            for (a, vj) in row.iter_mut().zip(&v) {
+                *a -= vi_over * vj;
+            }
+        }
+        let y_std = self.y_transform.apply(y);
+        let mut phi_t_y = self.phi_t_y.clone();
+        for (acc, p) in phi_t_y.iter_mut().zip(&phi) {
+            *acc += p * y_std;
+        }
+        let weights = ainv.matvec(&phi_t_y)?;
+        Ok(RandomFourierFeatures {
+            omega: self.omega.clone(),
+            bias: self.bias.clone(),
+            feature_scale: self.feature_scale,
+            weights,
+            ainv,
+            phi_t_y,
+            y_transform: self.y_transform,
+            hypers: self.hypers.clone(),
+            noise: self.noise,
+            n_obs: self.n_obs + 1,
+            dim: self.dim,
+        })
+    }
+
+    /// Number of observations (including fantasies) conditioned on.
+    pub fn len(&self) -> usize {
+        self.n_obs
+    }
+
+    /// `true` if there are no observations (cannot occur for a fitted
+    /// surrogate; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n_obs == 0
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of random Fourier features `D`.
+    pub fn n_features(&self) -> usize {
+        self.omega.rows()
+    }
+
+    /// The adopted observation-noise variance (standardized units).
+    pub fn noise_variance(&self) -> f64 {
+        self.noise
+    }
+
+    /// The adopted hyperparameters (standardized units).
+    pub fn hyperparameters(&self) -> &WarmStart {
+        &self.hypers
+    }
+}
+
+impl SurrogateModel for RandomFourierFeatures {
+    fn predict(&self, x: &[f64]) -> Result<Posterior, GpError> {
+        RandomFourierFeatures::predict(self, x)
+    }
+
+    fn predict_batch(&self, queries: &[Vec<f64>]) -> Result<Vec<Posterior>, GpError> {
+        RandomFourierFeatures::predict_batch(self, queries)
+    }
+
+    fn condition_on_boxed(&self, x: &[f64], y: f64) -> Result<Box<dyn SurrogateModel>, GpError> {
+        Ok(Box::new(self.condition_on(x, y)?))
+    }
+
+    fn len(&self) -> usize {
+        RandomFourierFeatures::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        RandomFourierFeatures::dim(self)
+    }
+
+    fn hyperparameters(&self) -> WarmStart {
+        self.hypers.clone()
+    }
+}

@@ -78,25 +78,34 @@ impl Cholesky {
         Err(last_err)
     }
 
+    /// Width of the column panel swept by the blocked factorization. Panel
+    /// rows (`PANEL` prefixes of `L`) stay cache-resident while the whole
+    /// trailing row range streams past them once per panel, instead of the
+    /// row-by-row order re-streaming every previous row for every new one.
+    const FACTOR_PANEL: usize = 48;
+
     fn try_factor(a: &Matrix, jitter: f64) -> Result<Matrix, LinalgError> {
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a[(i, j)];
-                if i == j {
-                    sum += jitter;
-                }
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i, jitter });
+        // Left-looking panel sweep. Every entry is still
+        //   l[i][j] = (a[i][j] (+ jitter on the diagonal) − ⟨L[i][..j], L[j][..j]⟩) / l[j][j]
+        // with the prefix product computed as ONE fixed-order dot, so the
+        // factor is bitwise identical at any panel width (the panel loop
+        // only reorders which entries are visited).
+        for k0 in (0..n).step_by(Self::FACTOR_PANEL) {
+            let k1 = (k0 + Self::FACTOR_PANEL).min(n);
+            for i in k0..n {
+                for j in k0..k1.min(i + 1) {
+                    let prefix = crate::kernels::dot_kernel(&l.row(i)[..j], &l.row(j)[..j]);
+                    if i == j {
+                        let sum = a[(i, i)] + jitter - prefix;
+                        if sum <= 0.0 || !sum.is_finite() {
+                            return Err(LinalgError::NotPositiveDefinite { pivot: i, jitter });
+                        }
+                        l[(i, i)] = sum.sqrt();
+                    } else {
+                        l[(i, j)] = (a[(i, j)] - prefix) / l[(j, j)];
                     }
-                    l[(i, j)] = sum.sqrt();
-                } else {
-                    l[(i, j)] = sum / l[(j, j)];
                 }
             }
         }
@@ -248,15 +257,12 @@ impl Cholesky {
             });
         }
         for i in 0..n {
-            let mut sum = b[i];
-            for (j, &oj) in out.iter().enumerate().take(i) {
-                sum -= self.l[(i, j)] * oj;
-            }
+            let prefix = crate::kernels::dot_kernel(&self.l.row(i)[..i], &out[..i]);
             let d = self.l[(i, i)];
             if !d.is_normal() {
                 return Err(LinalgError::SingularTriangular { index: i });
             }
-            out[i] = sum / d;
+            out[i] = (b[i] - prefix) / d;
         }
         Ok(())
     }

@@ -3,11 +3,21 @@
 //!
 //! The Gaussian-process surrogate ([`bofl-gp`]), the EHVI acquisition
 //! ([`bofl-mobo`]) and the simplex/ILP solver ([`bofl-ilp`]) all need a
-//! handful of dense operations on matrices that are tiny by HPC standards
-//! (tens to a few hundreds of rows). This crate provides exactly those
-//! kernels — row-major [`Matrix`], [`Cholesky`] factorization with jitter
-//! escalation, triangular solves, and streaming statistics — with numerics
-//! tuned for that size regime and nothing else.
+//! handful of dense operations on matrices ranging from tens of rows up to
+//! the few-thousand range produced by pooled fleet observations. This
+//! crate provides exactly those kernels — row-major [`Matrix`],
+//! [`Cholesky`] factorization with jitter escalation, triangular solves,
+//! and streaming statistics — with numerics tuned for that size regime and
+//! nothing else.
+//!
+//! Every dense operation reduces each output element to one call of a
+//! shared fixed-order dot micro-kernel (see `kernels`), so cache blocking
+//! and the opt-in `simd` feature (SSE2 on `x86_64`; elsewhere it falls
+//! back to the scalar kernel) change throughput but never bits: results
+//! are bitwise identical at any block size and across the scalar/SIMD
+//! builds. The `simd` feature is the only part of the crate allowed to
+//! use `unsafe` (a single audited intrinsics routine); the default build
+//! keeps `forbid(unsafe_code)`.
 //!
 //! # Examples
 //!
@@ -29,11 +39,13 @@
 //! [`bofl-mobo`]: https://docs.rs/bofl-mobo
 //! [`bofl-ilp`]: https://docs.rs/bofl-ilp
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod cholesky;
 mod error;
+mod kernels;
 mod matrix;
 mod stats;
 mod triangular;

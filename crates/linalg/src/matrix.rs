@@ -2,8 +2,11 @@ use crate::LinalgError;
 
 /// A dense, row-major, heap-allocated matrix of `f64`.
 ///
-/// Sized for the BoFL workloads: Gram matrices of a few hundred rows at most.
-/// Operations favour clarity and numerical robustness over cache blocking.
+/// Sized for the BoFL workloads: Gram matrices from tens of rows up to the
+/// few-thousand range that pooled fleet observations produce. The product
+/// and transpose kernels are cache-blocked on top of the crate's
+/// fixed-order dot micro-kernel (see `kernels`), so they are fast at the
+/// large end while staying bitwise deterministic at any block size.
 ///
 /// # Examples
 ///
@@ -153,12 +156,38 @@ impl Matrix {
         &self.data
     }
 
-    /// Returns the transpose.
+    /// Returns the transpose, walking 32×32 tiles so both the source reads
+    /// and the destination writes stay within a cache-resident window even
+    /// for thousand-row matrices.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+        const TILE: usize = 32;
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        // Walk output rows inside each tile: writes are contiguous (the
+        // expensive side under write-allocate) and the strided reads stay
+        // within a TILE×TILE block that fits in L1.
+        for ib in (0..self.rows).step_by(TILE) {
+            let imax = (ib + TILE).min(self.rows);
+            for jb in (0..self.cols).step_by(TILE) {
+                let jmax = (jb + TILE).min(self.cols);
+                for j in jb..jmax {
+                    let orow = &mut out.data[j * self.rows..(j + 1) * self.rows];
+                    for (i, o) in orow[ib..imax].iter_mut().enumerate() {
+                        *o = self.data[(ib + i) * self.cols + j];
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Matrix–matrix product `self * rhs`.
+    ///
+    /// Packs `rhs` as its (tiled) transpose so every output element is one
+    /// contiguous fixed-order dot over the full `k` range, then sweeps the
+    /// output in cache blocks. Blocking reorders which elements are
+    /// computed, never how each sum is formed, so the result is bitwise
+    /// identical at any block size — and in the `simd` build, which runs
+    /// the same combine tree in SSE2 lanes.
     ///
     /// # Errors
     ///
@@ -171,22 +200,29 @@ impl Matrix {
                 op: "matmul",
             });
         }
+        // Block sizes: NC rows of packed Bᵀ (NC·k doubles) stay hot across
+        // an MC-row sweep of A; each A row is then read once per jb tile.
+        const MC: usize = 256;
+        const NC: usize = 16;
+        let bt = rhs.transpose();
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += aik * rhs[(k, j)];
+        for jb in (0..rhs.cols).step_by(NC) {
+            let jmax = (jb + NC).min(rhs.cols);
+            for ib in (0..self.rows).step_by(MC) {
+                let imax = (ib + MC).min(self.rows);
+                for i in ib..imax {
+                    let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for (j, o) in orow[jb..jmax].iter_mut().enumerate() {
+                        *o = crate::kernels::dot_kernel(arow, bt.row(jb + j));
+                    }
                 }
             }
         }
         Ok(out)
     }
 
-    /// Matrix–vector product `self * v`.
+    /// Matrix–vector product `self * v`, one fixed-order dot per row.
     ///
     /// # Errors
     ///
@@ -200,7 +236,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .map(|i| crate::kernels::dot_kernel(self.row(i), v))
             .collect())
     }
 

@@ -29,15 +29,15 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let n = l.rows();
     let mut x = vec![0.0; n];
     for i in 0..n {
-        let mut sum = b[i];
-        for (j, xj) in x.iter().enumerate().take(i) {
-            sum -= l[(i, j)] * xj;
-        }
+        // One fixed-order dot over the already-solved prefix; same
+        // association as `Cholesky::solve_half_into` so the two paths stay
+        // bitwise interchangeable.
+        let prefix = crate::kernels::dot_kernel(&l.row(i)[..i], &x[..i]);
         let d = l[(i, i)];
         if !d.is_normal() {
             return Err(LinalgError::SingularTriangular { index: i });
         }
-        x[i] = sum / d;
+        x[i] = (b[i] - prefix) / d;
     }
     Ok(x)
 }
@@ -67,15 +67,12 @@ pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let n = u.rows();
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
-        let mut sum = b[i];
-        for j in (i + 1)..n {
-            sum -= u[(i, j)] * x[j];
-        }
+        let suffix = crate::kernels::dot_kernel(&u.row(i)[i + 1..], &x[i + 1..]);
         let d = u[(i, i)];
         if !d.is_normal() {
             return Err(LinalgError::SingularTriangular { index: i });
         }
-        x[i] = sum / d;
+        x[i] = (b[i] - suffix) / d;
     }
     Ok(x)
 }

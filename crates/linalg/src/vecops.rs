@@ -2,6 +2,12 @@
 
 /// Dot product of two equal-length slices.
 ///
+/// Runs the crate-wide fixed-order micro-kernel: four independent
+/// accumulators over `chunks_exact(4)` combined as
+/// `(acc0 + acc2) + (acc1 + acc3)`, then a sequential tail. The order is
+/// identical in the scalar and `simd` builds, so results are bitwise
+/// reproducible across both.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
@@ -13,7 +19,7 @@
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::kernels::dot_kernel(a, b)
 }
 
 /// Euclidean norm `‖a‖₂`, computed with scaling to avoid overflow.

@@ -15,7 +15,175 @@ fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     })
 }
 
+/// Textbook reference implementations the blocked kernels are checked
+/// against. These deliberately use the naive orders (sequential dot,
+/// `i,j,k` triple loop, row-major scalar Cholesky) so any blocking or
+/// unrolling bug in the library shows up as a numeric divergence.
+mod naive {
+    use bofl_linalg::Matrix;
+
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    pub fn matvec(a: &Matrix, v: &[f64]) -> Vec<f64> {
+        (0..a.rows())
+            .map(|i| (0..a.cols()).map(|k| a[(i, k)] * v[k]).sum())
+            .collect()
+    }
+
+    pub fn cholesky(a: &Matrix) -> Matrix {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    l[(i, i)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        l
+    }
+}
+
+/// Deterministic pseudo-random fill (SplitMix64 → [-1, 1]) so the
+/// block-boundary tests below can use sizes proptest would be too slow
+/// for.
+fn fill(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        })
+        .collect()
+}
+
+/// The blocked GEMM agrees with the `i,j,k` triple loop to 1e-12 at
+/// sizes that cross the NC=16 column-block boundary.
+#[test]
+fn blocked_matmul_matches_naive_across_block_boundaries() {
+    for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 16, 15), (33, 40, 70)] {
+        let a = Matrix::from_vec(m, k, fill(1, m * k)).unwrap();
+        let b = Matrix::from_vec(k, n, fill(2, k * n)).unwrap();
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive::matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let d = (fast[(i, j)] - slow[(i, j)]).abs();
+                assert!(
+                    d <= 1e-12 * (1.0 + slow[(i, j)].abs()),
+                    "({m}x{k}x{n}) [{i},{j}]: {} vs {}",
+                    fast[(i, j)],
+                    slow[(i, j)]
+                );
+            }
+        }
+    }
+}
+
+/// The panel Cholesky agrees with the scalar textbook factorization to
+/// 1e-12 at sizes that cross the 48-row panel boundary.
+#[test]
+fn blocked_cholesky_matches_naive_across_panel_boundaries() {
+    for &n in &[1usize, 7, 48, 49, 100] {
+        let b = Matrix::from_vec(n, n, fill(3, n * n)).unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(n as f64); // comfortably SPD → zero jitter
+        let chol = Cholesky::factor(&a).unwrap();
+        assert_eq!(chol.jitter(), 0.0);
+        let slow = naive::cholesky(&a);
+        for i in 0..n {
+            for j in 0..=i {
+                let d = (chol.l()[(i, j)] - slow[(i, j)]).abs();
+                assert!(
+                    d <= 1e-12 * (1.0 + slow[(i, j)].abs()),
+                    "n={n} L[{i},{j}]: {} vs {}",
+                    chol.l()[(i, j)],
+                    slow[(i, j)]
+                );
+            }
+        }
+    }
+}
+
+/// Tiled transpose is an exact permutation (bitwise) and an involution,
+/// across the 32-tile boundary.
+#[test]
+fn tiled_transpose_is_exact_across_tile_boundaries() {
+    for &(m, n) in &[(1, 1), (5, 3), (32, 33), (70, 31)] {
+        let a = Matrix::from_vec(m, n, fill(4, m * n)).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), n);
+        assert_eq!(t.cols(), m);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(a[(i, j)].to_bits(), t[(j, i)].to_bits());
+            }
+        }
+        let back = t.transpose();
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(a[(i, j)].to_bits(), back[(i, j)].to_bits());
+            }
+        }
+    }
+}
+
+/// The unrolled matvec kernel agrees with the sequential sum to 1e-12.
+#[test]
+fn matvec_matches_naive() {
+    for &(m, n) in &[(1usize, 1usize), (9, 5), (33, 70)] {
+        let a = Matrix::from_vec(m, n, fill(5, m * n)).unwrap();
+        let v = fill(6, n);
+        let fast = a.matvec(&v).unwrap();
+        let slow = naive::matvec(&a, &v);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() <= 1e-12 * (1.0 + s.abs()), "{f} vs {s}");
+        }
+    }
+}
+
 proptest! {
+    /// Random-content GEMM agreement (small sizes; the large block-crossing
+    /// sizes are covered deterministically above).
+    #[test]
+    fn matmul_matches_naive_random(
+        dims in (1usize..8, 1usize..8, 1usize..8),
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = dims;
+        let a = Matrix::from_vec(m, k, fill(seed, m * k)).unwrap();
+        let b = Matrix::from_vec(k, n, fill(seed ^ 0xABCD, k * n)).unwrap();
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive::matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((fast[(i, j)] - slow[(i, j)]).abs() <= 1e-12 * (1.0 + slow[(i, j)].abs()));
+            }
+        }
+    }
+
     #[test]
     fn cholesky_reconstructs(a in (1usize..8).prop_flat_map(spd_matrix)) {
         let chol = Cholesky::factor(&a).expect("SPD by construction");

@@ -1,7 +1,9 @@
 use crate::ehvi::{BiGaussian, EhviCells};
 use crate::hypervolume::hypervolume;
 use crate::{MoboError, ParetoFront};
-use bofl_gp::{GaussianProcess, GpConfig, WarmStart};
+use bofl_gp::{
+    GaussianProcess, GpConfig, RandomFourierFeatures, RffConfig, SurrogateModel, WarmStart,
+};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -15,6 +17,10 @@ const MAX_AUTO_WORKERS: usize = 8;
 /// Best candidate of one scan (chunk): `(index, ehvi, posterior)`, `None`
 /// when every candidate in range was ineligible.
 type ScanBest = Option<(usize, f64, BiGaussian)>;
+
+/// The boxed per-objective surrogate pair [`MoboEngine::fit_surrogates`]
+/// hands to the suggestion loop (exact GP or RFF, per [`RffSwitch`]).
+type SurrogatePair = (Box<dyn SurrogateModel>, Box<dyn SurrogateModel>);
 
 /// One evaluated point: input coordinates (unit-cube scaled) and the two
 /// measured objective values `(objective 0, objective 1)` — in BoFL,
@@ -60,6 +66,48 @@ impl Default for StoppingRule {
     }
 }
 
+/// When and how the engine swaps the exact GP surrogate for the
+/// approximate [`RandomFourierFeatures`] regressor.
+///
+/// Exact GP fitting is `O(n³)` per hyperparameter evaluation and exact
+/// prediction is `O(n)` per query, so once pooled fleet telemetry pushes
+/// the observation count into the hundreds the surrogate fit dominates
+/// [`MoboEngine::suggest`]. Above [`RffSwitch::threshold`] observations
+/// the engine instead fits a sparse-spectrum (RFF) surrogate whose cost
+/// depends on the feature count `D`, not `n`: hyperparameters come from
+/// the warm-start cache (refreshed on the [`MoboConfig::refit_every`]
+/// schedule by an exact-GP fit on a deterministic stride subsample of at
+/// most [`RffSwitch::hyper_subsample`] points), so the per-suggest
+/// Nelder–Mead marginal-likelihood search over the full data set is
+/// skipped entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RffSwitch {
+    /// Observation count at which the engine switches to the RFF
+    /// surrogate. `usize::MAX` never switches (always exact); `0` always
+    /// uses RFF.
+    pub threshold: usize,
+    /// Number of random Fourier features `D` ([`RffConfig::n_features`]).
+    pub n_features: usize,
+    /// Base seed for the deterministic spectral draws; each objective
+    /// derives its own stream from it, so the two surrogates never share
+    /// frequencies.
+    pub seed: u64,
+    /// Maximum size of the stride subsample used for exact-GP
+    /// hyperparameter refits on the RFF path.
+    pub hyper_subsample: usize,
+}
+
+impl Default for RffSwitch {
+    fn default() -> Self {
+        RffSwitch {
+            threshold: 128,
+            n_features: 128,
+            seed: 0xB0F1_0FF5,
+            hyper_subsample: 96,
+        }
+    }
+}
+
 /// Configuration of the MBO engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MoboConfig {
@@ -82,6 +130,8 @@ pub struct MoboConfig {
     /// `min(available_parallelism, 8)`. The suggestion batch is
     /// byte-identical at any worker count.
     pub scan_workers: usize,
+    /// Exact-vs-approximate surrogate switch (see [`RffSwitch`]).
+    pub rff: RffSwitch,
 }
 
 impl Default for MoboConfig {
@@ -92,6 +142,7 @@ impl Default for MoboConfig {
             stopping: StoppingRule::default(),
             refit_every: 8,
             scan_workers: 0,
+            rff: RffSwitch::default(),
         }
     }
 }
@@ -307,8 +358,8 @@ impl MoboEngine {
         for _ in 0..k {
             let cells = EhviCells::new(&front, r);
             let best = scan_candidates(
-                &gp0,
-                &gp1,
+                gp0.as_ref(),
+                gp1.as_ref(),
                 &cells,
                 candidates,
                 &eligible,
@@ -322,10 +373,11 @@ impl MoboEngine {
             chosen_set.insert(i);
             // Kriging believer: fantasize the posterior mean as the
             // observation and condition both models on it (§4.3 step 2).
-            // `condition_on` extends the Cholesky factor in place (O(n²)),
-            // so the whole batch costs O(k·n²) instead of O(k·n³).
-            gp0 = gp0.condition_on(&candidates[i], post.mean0)?;
-            gp1 = gp1.condition_on(&candidates[i], post.mean1)?;
+            // Conditioning extends the exact posterior in O(n²) (Cholesky
+            // append) or the RFF posterior in O(D²) (Sherman–Morrison), so
+            // the whole batch avoids a refit per pick.
+            gp0 = gp0.condition_on_boxed(&candidates[i], post.mean0)?;
+            gp1 = gp1.condition_on_boxed(&candidates[i], post.mean1)?;
             front.insert([post.mean0, post.mean1]);
         }
 
@@ -413,7 +465,13 @@ impl MoboEngine {
     /// any fit at least `refit_every` observations after the last full
     /// refit run the configured multi-start search; fits in between seed
     /// Nelder–Mead from the previous optimum with a single restart.
-    fn fit_surrogates(&mut self) -> Result<(GaussianProcess, GaussianProcess), MoboError> {
+    ///
+    /// Below [`RffSwitch::threshold`] observations the surrogate is the
+    /// exact [`GaussianProcess`]; at or above it, the approximate
+    /// [`RandomFourierFeatures`] regressor (same refit schedule, but the
+    /// full refit runs on a stride subsample and the RFF fit itself does
+    /// no hyperparameter search).
+    fn fit_surrogates(&mut self) -> Result<SurrogatePair, MoboError> {
         let xs: Vec<Vec<f64>> = self.observations.iter().map(|o| o.point.clone()).collect();
         let y0: Vec<f64> = self.observations.iter().map(|o| o.objectives[0]).collect();
         let y1: Vec<f64> = self.observations.iter().map(|o| o.objectives[1]).collect();
@@ -427,8 +485,11 @@ impl MoboEngine {
         obj: usize,
         xs: &[Vec<f64>],
         ys: &[f64],
-    ) -> Result<GaussianProcess, MoboError> {
+    ) -> Result<Box<dyn SurrogateModel>, MoboError> {
         let n = xs.len();
+        if n >= self.config.rff.threshold {
+            return self.fit_one_rff(obj, xs, ys);
+        }
         let mut cfg = self.config.gp.clone();
         let mut full = true;
         if let Some(cache) = &self.warm[obj] {
@@ -452,7 +513,60 @@ impl MoboEngine {
             },
             full_fit_len,
         });
-        Ok(gp)
+        Ok(Box::new(gp))
+    }
+
+    /// RFF-path fit: hyperparameters come from the warm cache, refreshed
+    /// on the `refit_every` schedule by an exact-GP multi-start fit on a
+    /// deterministic stride subsample (never the full data set — that is
+    /// the point of the switch). The feature draws are seeded per
+    /// objective so the two surrogates use independent spectra.
+    fn fit_one_rff(
+        &mut self,
+        obj: usize,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+    ) -> Result<Box<dyn SurrogateModel>, MoboError> {
+        let n = xs.len();
+        let due_full = match &self.warm[obj] {
+            Some(cache) => n >= cache.full_fit_len + self.config.refit_every.max(1),
+            None => true,
+        };
+        let hypers = if due_full {
+            let m = self.config.rff.hyper_subsample.clamp(1, n);
+            let stride = n / m;
+            let sub_xs: Vec<Vec<f64>> = (0..m).map(|i| xs[i * stride].clone()).collect();
+            let sub_ys: Vec<f64> = (0..m).map(|i| ys[i * stride]).collect();
+            let mut cfg = self.config.gp.clone();
+            if let Some(cache) = &self.warm[obj] {
+                cfg.warm_start = Some(cache.hypers.clone());
+            }
+            let gp = GaussianProcess::fit(&sub_xs, &sub_ys, cfg)?;
+            let hypers = WarmStart {
+                variance: gp.kernel().variance(),
+                lengthscales: gp.kernel().lengthscales().to_vec(),
+                noise: gp.noise_variance(),
+            };
+            self.warm[obj] = Some(WarmCache {
+                hypers: hypers.clone(),
+                full_fit_len: n,
+            });
+            hypers
+        } else {
+            self.warm[obj]
+                .as_ref()
+                .expect("warm cache exists when a full refit is not due")
+                .hypers
+                .clone()
+        };
+        let cfg = RffConfig {
+            kernel: self.config.gp.kernel,
+            n_features: self.config.rff.n_features,
+            seed: self.config.rff.seed ^ (obj as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            noise_variance: self.config.gp.noise_variance,
+            hyperparameters: Some(hypers),
+        };
+        Ok(Box::new(RandomFourierFeatures::fit(xs, ys, cfg)?))
     }
 
     /// Resolves the scan worker count: the configured value, or
@@ -478,15 +592,15 @@ impl MoboEngine {
 /// `(index, ehvi, posterior)`.
 ///
 /// The scan is split into `workers` contiguous chunks, each handled by a
-/// scoped thread via [`GaussianProcess::predict_batch`]. Determinism is
+/// scoped thread via [`SurrogateModel::predict_batch`]. Determinism is
 /// by construction: every candidate's score is a pure function of its
 /// coordinates (no cross-candidate accumulation), each chunk keeps its
 /// *first* strict maximum, and chunks are reduced in ascending order with
 /// a `(ehvi, Reverse(index))` comparison — so the result is byte-identical
-/// at any worker count.
+/// at any worker count, for the exact and the RFF surrogate alike.
 fn scan_candidates(
-    gp0: &GaussianProcess,
-    gp1: &GaussianProcess,
+    gp0: &dyn SurrogateModel,
+    gp1: &dyn SurrogateModel,
     cells: &EhviCells,
     candidates: &[Vec<f64>],
     eligible: &[bool],
@@ -718,6 +832,81 @@ mod tests {
         e.observe(Observation::new(vec![0.4], [5.0, 1.0])).unwrap();
         assert_eq!(e.pareto_indices(), vec![0, 1, 3]);
         assert_eq!(e.pareto_front().len(), 3);
+    }
+
+    /// Forces the RFF surrogate (threshold 0) and checks the suggestion
+    /// batch is valid, unique, and identical run-to-run and across scan
+    /// worker counts — the same determinism contract the exact path has.
+    #[test]
+    fn rff_path_is_deterministic_and_valid() {
+        let cfg = MoboConfig {
+            rff: RffSwitch {
+                threshold: 0,
+                n_features: 64,
+                ..RffSwitch::default()
+            },
+            scan_workers: 1,
+            ..MoboConfig::default()
+        };
+        let mut e = MoboEngine::new(cfg.clone());
+        let xs: Vec<f64> = (0..16).map(|i| i as f64 / 15.0).collect();
+        toy_observe(&mut e, &xs);
+        let candidates: Vec<Vec<f64>> = (0..=60).map(|i| vec![i as f64 / 60.0]).collect();
+
+        let mut e2 = e.clone();
+        let picked = e.suggest(4, &candidates).unwrap();
+        assert_eq!(picked.len(), 4);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "picks must be distinct");
+        assert_eq!(e2.suggest(4, &candidates).unwrap(), picked, "rerun differs");
+
+        let mut e4 = MoboEngine::new(MoboConfig {
+            scan_workers: 4,
+            ..cfg
+        });
+        toy_observe(&mut e4, &xs);
+        assert_eq!(
+            e4.suggest(4, &candidates).unwrap(),
+            picked,
+            "worker count changed the batch"
+        );
+    }
+
+    /// Crossing the exact→RFF threshold mid-run must not break the
+    /// engine: the warm cache carries over and both sides produce valid,
+    /// reproducible batches.
+    #[test]
+    fn suggest_survives_the_threshold_crossing() {
+        let cfg = MoboConfig {
+            rff: RffSwitch {
+                threshold: 10,
+                n_features: 64,
+                ..RffSwitch::default()
+            },
+            ..MoboConfig::default()
+        };
+        let mut e = MoboEngine::new(cfg);
+        let candidates: Vec<Vec<f64>> = (0..=60).map(|i| vec![i as f64 / 60.0]).collect();
+
+        // Below threshold: exact path (8 < 10).
+        let below: Vec<f64> = (0..8).map(|i| i as f64 / 7.0).collect();
+        toy_observe(&mut e, &below);
+        let exact_picks = e.suggest(3, &candidates).unwrap();
+        assert_eq!(exact_picks.len(), 3);
+
+        // Cross the threshold: RFF path (12 ≥ 10), warm cache populated.
+        let above: Vec<f64> = (0..4).map(|i| 0.03 + i as f64 / 9.0).collect();
+        toy_observe(&mut e, &above);
+        let rff_picks = e.suggest(3, &candidates).unwrap();
+        assert_eq!(rff_picks.len(), 3);
+        let mut rerun = e.clone();
+        assert_eq!(rerun.suggest(3, &candidates).unwrap(), rff_picks);
+        // Both regimes must propose unexplored candidates.
+        for &i in exact_picks.iter().chain(&rff_picks) {
+            assert!(candidates[i].iter().all(|v| v.is_finite()));
+        }
     }
 
     #[test]

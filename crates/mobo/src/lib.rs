@@ -48,7 +48,7 @@ pub mod sobol;
 mod engine;
 mod error;
 
-pub use engine::{MoboConfig, MoboEngine, Observation, StoppingRule};
+pub use engine::{MoboConfig, MoboEngine, Observation, RffSwitch, StoppingRule};
 pub use error::MoboError;
 pub use pareto::{pareto_front_indices, ParetoFront};
 pub use sobol::SobolSequence;
