@@ -21,6 +21,11 @@
 //! - `round/loopback_transport` — the event-driven run again with
 //!   updates carried over real OS-thread loopback lanes, isolating the
 //!   transport seam's overhead;
+//! - `round/socket_transport` — the same run once more with every update
+//!   carried over real localhost TCP (framed, checksummed, acked),
+//!   isolating the socket stack's overhead; each `round/*` entry records
+//!   its transport kind in the artifact so regressions can be attributed
+//!   to the wire;
 //! - `round/sharded_1m_clients` — the hierarchical aggregation headline:
 //!   a 1,000,000-client registered fleet, 4,096-client cohorts, 100
 //!   rounds through 64 aggregator shards with int8-quantized uplinks and
@@ -34,7 +39,7 @@ use std::path::PathBuf;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use bofl_bench::host_cores;
-use bofl_control::{ControlSimulation, LoopbackTransport};
+use bofl_control::{ControlSimulation, LoopbackTransport, SocketTransport};
 use bofl_fl::server::{AggregationPolicy, FederationConfig};
 use bofl_fl::RetryPolicy;
 use bofl_fleet::scale::ScaleConfig;
@@ -55,6 +60,17 @@ struct BenchResult {
     median_ms: f64,
     min_ms: f64,
     mean_ms: f64,
+    /// The wire the workload's updates travelled over (`round/*`
+    /// workloads only), so the artifact attributes perf to the transport.
+    transport: Option<&'static str>,
+}
+
+/// Tags the most recent result with its transport kind.
+fn tag_transport(results: &mut [BenchResult], transport: &'static str) {
+    results
+        .last_mut()
+        .expect("tag_transport follows a bench() call")
+        .transport = Some(transport);
 }
 
 /// Times `f` REPS times (after one untimed warmup) and records the stats.
@@ -83,6 +99,7 @@ fn bench_reps(name: &str, reps: usize, results: &mut Vec<BenchResult>, mut f: im
         median_ms,
         min_ms,
         mean_ms,
+        transport: None,
     });
 }
 
@@ -223,6 +240,7 @@ fn round_loop_workloads(results: &mut Vec<BenchResult>) {
             .build()
             .run();
     });
+    tag_transport(results, "none");
     bench("round/event_driven_40c_5r_4w", results, || {
         ControlSimulation::builder(spec)
             .federation(round_config())
@@ -232,6 +250,7 @@ fn round_loop_workloads(results: &mut Vec<BenchResult>) {
             .build()
             .run();
     });
+    tag_transport(results, "virtual");
     // The same event-driven run with updates carried over real OS-thread
     // loopback lanes instead of the virtual wire: isolates the cost of
     // thread spawn + channel collection per round.
@@ -245,6 +264,21 @@ fn round_loop_workloads(results: &mut Vec<BenchResult>) {
             .build()
             .run();
     });
+    tag_transport(results, "loopback");
+    // And once more over real localhost TCP: every update framed,
+    // checksummed and acked through four persistent lane connections.
+    // The delta against loopback is the socket stack's cost.
+    bench("round/socket_transport_40c_5r_4w", results, || {
+        ControlSimulation::builder(spec)
+            .federation(round_config())
+            .workers(4)
+            .faults(round_faults().with_churn(0.05, 2))
+            .retry(RetryPolicy::recovery())
+            .transport(SocketTransport::in_process(4))
+            .build()
+            .run();
+    });
+    tag_transport(results, "socket");
 }
 
 /// The hierarchical-aggregation headline: one million registered
@@ -307,10 +341,15 @@ fn to_json(date: &str, cores: usize, results: &[BenchResult]) -> String {
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let transport = match r.transport {
+            Some(t) => format!("\"transport\": \"{t}\", "),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"reps\": {}, \"median_ms\": {:.3}, \"min_ms\": {:.3}, \"mean_ms\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"reps\": {}, {}\"median_ms\": {:.3}, \"min_ms\": {:.3}, \"mean_ms\": {:.3}}}{}\n",
             r.name,
             r.reps,
+            transport,
             r.median_ms,
             r.min_ms,
             r.mean_ms,

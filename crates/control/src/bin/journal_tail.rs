@@ -1,0 +1,163 @@
+//! `journal_tail` — stream a control-plane write-ahead log as JSONL.
+//!
+//! Reads the WAL a running (or finished) simulation writes via
+//! `ControlSimulationBuilder::wal` and prints one JSON object per event,
+//! in the same format as the run's `journal.jsonl` artifact. The reader
+//! is strictly read-only and decodes incrementally, so tailing a *live*
+//! run never blocks or corrupts the writer: a half-appended record just
+//! means "wait and poll again".
+//!
+//! ```text
+//! journal_tail run.wal                 # print committed events, exit
+//! journal_tail run.wal --follow        # keep streaming as the run appends
+//! journal_tail run.wal --closes       # also print round-close records
+//! journal_tail run.wal --poll-ms 50   # follow-mode poll interval
+//! journal_tail run.wal --limit 100    # exit after 100 printed records
+//! ```
+//!
+//! Exit codes: 0 = done, 1 = unreadable or corrupt log, 2 = bad usage.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bofl_control::wal::{JournalTail, WalRecord};
+
+#[derive(Debug)]
+struct Options {
+    path: PathBuf,
+    follow: bool,
+    closes: bool,
+    poll: Duration,
+    limit: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut path = None;
+    let mut follow = false;
+    let mut closes = false;
+    let mut poll = Duration::from_millis(100);
+    let mut limit = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--follow" => follow = true,
+            "--closes" => closes = true,
+            "--poll-ms" => {
+                let value = it.next().ok_or("--poll-ms is missing its value")?;
+                poll = Duration::from_millis(
+                    value
+                        .parse::<u64>()
+                        .map_err(|e| format!("--poll-ms: {e}"))?,
+                );
+            }
+            "--limit" => {
+                let value = it.next().ok_or("--limit is missing its value")?;
+                limit = Some(value.parse::<u64>().map_err(|e| format!("--limit: {e}"))?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => {
+                if path.replace(PathBuf::from(other)).is_some() {
+                    return Err("more than one WAL path given".to_string());
+                }
+            }
+        }
+    }
+    Ok(Options {
+        path: path.ok_or("a WAL path is required")?,
+        follow,
+        closes,
+        poll,
+        limit,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("journal_tail: {e}");
+            eprintln!(
+                "usage: journal_tail PATH [--follow] [--closes] [--poll-ms MILLIS] [--limit N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut tail = match JournalTail::open(&opts.path) {
+        Ok(tail) => tail,
+        Err(e) => {
+            eprintln!("journal_tail: cannot open {}: {e}", opts.path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut printed = 0u64;
+    loop {
+        match tail.poll() {
+            Ok(Some(record)) => {
+                match record {
+                    WalRecord::Event(e) => println!("{}", e.to_json()),
+                    WalRecord::Close(c) => {
+                        if opts.closes {
+                            println!("{}", c.to_json());
+                        } else {
+                            continue;
+                        }
+                    }
+                }
+                printed += 1;
+                if opts.limit.is_some_and(|n| printed >= n) {
+                    return;
+                }
+            }
+            Ok(None) => {
+                if !opts.follow {
+                    return;
+                }
+                std::thread::sleep(opts.poll);
+            }
+            Err(e) => {
+                eprintln!("journal_tail: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn args_round_trip() {
+        let opts = parse_args(&s(&[
+            "run.wal",
+            "--follow",
+            "--closes",
+            "--poll-ms",
+            "25",
+            "--limit",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(opts.path, PathBuf::from("run.wal"));
+        assert!(opts.follow);
+        assert!(opts.closes);
+        assert_eq!(opts.poll, Duration::from_millis(25));
+        assert_eq!(opts.limit, Some(9));
+    }
+
+    #[test]
+    fn bad_usage_is_named() {
+        assert!(parse_args(&s(&[])).unwrap_err().contains("required"));
+        assert!(parse_args(&s(&["a.wal", "--frobnicate"]))
+            .unwrap_err()
+            .contains("--frobnicate"));
+        assert!(parse_args(&s(&["a.wal", "b.wal"]))
+            .unwrap_err()
+            .contains("more than one"));
+    }
+}

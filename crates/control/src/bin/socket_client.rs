@@ -1,0 +1,35 @@
+//! `socket_client` — the client side of the socket transport, as a real
+//! OS process.
+//!
+//! Connects to the coordinator, sends one Data frame for `(round,
+//! client)` at the given virtual send time, and waits for the matching
+//! Ack. Spawned by `SocketTransport::spawned` (one process per envelope)
+//! and by the process-mode acceptance tests.
+//!
+//! ```text
+//! socket_client --addr 127.0.0.1:9001 --client 7 --round 3 \
+//!     --t-send 1.2345e1 [--ack-timeout-ms 2000]
+//! ```
+//!
+//! Exit codes: 0 = acked, 1 = protocol/socket failure, 2 = bad usage.
+
+use bofl_fleet::process::{client_main, parse_client_args};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, spec, ack_timeout) = match parse_client_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("socket_client: {e}");
+            eprintln!(
+                "usage: socket_client --addr HOST:PORT --client N --round R \
+                 --t-send SECONDS [--ack-timeout-ms MILLIS]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = client_main(&addr, spec, ack_timeout) {
+        eprintln!("socket_client: {e}");
+        std::process::exit(1);
+    }
+}

@@ -254,6 +254,30 @@ impl EventDrivenEngine {
         self
     }
 
+    /// Arm the crash-safety write-ahead log: every journalled transition
+    /// and round close is fsync'd to `wal` before the engine proceeds.
+    /// Apply this *after* [`EventDrivenEngine::with_journal_capacity`],
+    /// which replaces the plane.
+    #[must_use]
+    pub fn with_wal(self, wal: Arc<Mutex<crate::wal::JournalWal>>) -> Self {
+        self.plane
+            .lock()
+            .expect("control plane poisoned")
+            .attach_wal(wal);
+        self
+    }
+
+    /// Adopt a plane reconstructed by `ControlPlane::resume` and restart
+    /// the virtual clock at `now_s` (the resume report's commit-point
+    /// clock). The resumed run continues from the round after the last
+    /// committed close.
+    #[must_use]
+    pub fn with_resumed(mut self, plane: ControlPlane, now_s: f64) -> Self {
+        self.plane = Arc::new(Mutex::new(plane));
+        self.now_s = now_s;
+        self
+    }
+
     /// A handle onto the control plane, for reading the journal and round
     /// closes after the federation has taken ownership of the engine.
     pub fn plane(&self) -> PlaneHandle {
@@ -777,20 +801,6 @@ impl RoundEngine for EventDrivenEngine {
             }
             _ => (0, 0),
         };
-        plane.close_round(
-            round,
-            t_close,
-            accepted,
-            quorum,
-            closed_early,
-            degraded,
-            shards,
-            shard_shortfalls,
-        );
-        plane.record_wire(round, carried.stats);
-        if live {
-            self.escalated = degraded;
-        }
         for (id, &leaving) in departing.iter().enumerate() {
             match plane.state(id) {
                 ClientState::Dropped if leaving => {
@@ -816,6 +826,24 @@ impl RoundEngine for EventDrivenEngine {
                 ClientState::Idle | ClientState::Departed => {}
                 other => panic!("client {id} still `{other}` at round close"),
             }
+        }
+        // The Close record lands *after* the resets: with a WAL attached
+        // it is the round's commit marker, so resume never sees a round
+        // whose resets are missing. (The in-memory EventJournal is
+        // untouched by this ordering — closes are not journal entries.)
+        plane.close_round(
+            round,
+            t_close,
+            accepted,
+            quorum,
+            closed_early,
+            degraded,
+            shards,
+            shard_shortfalls,
+        );
+        plane.record_wire(round, carried.stats);
+        if live {
+            self.escalated = degraded;
         }
         self.now_s = t_end;
 

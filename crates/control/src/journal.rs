@@ -80,6 +80,37 @@ pub enum EventCause {
 }
 
 impl EventCause {
+    /// Every cause, in discriminant order (for exhaustive table tests and
+    /// binary decoding).
+    pub const ALL: [EventCause; 20] = [
+        EventCause::ChurnArrival,
+        EventCause::ChurnDeparture,
+        EventCause::Selection,
+        EventCause::RoundStart,
+        EventCause::GuardianEscalation,
+        EventCause::ObservationQuarantine,
+        EventCause::TrainingComplete,
+        EventCause::UploadDelivered,
+        EventCause::UploadRecovered,
+        EventCause::ServerDropout,
+        EventCause::FaultDropout,
+        EventCause::DeadlineMiss,
+        EventCause::UploadFailure,
+        EventCause::RoundClosed,
+        EventCause::RoundReset,
+        EventCause::LivenessSuspect,
+        EventCause::LivenessHeal,
+        EventCause::LivenessExpired,
+        EventCause::TransportLoss,
+        EventCause::ShardQuorumShortfall,
+    ];
+
+    /// The cause with discriminant `b`, if any — the inverse of `as u8`,
+    /// used when decoding binary journal records (the WAL).
+    pub fn from_u8(b: u8) -> Option<EventCause> {
+        EventCause::ALL.get(b as usize).copied()
+    }
+
     /// Stable lowercase name (journal CSV/JSONL vocabulary).
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -196,6 +227,25 @@ pub struct RoundClose {
     pub shard_shortfalls: usize,
 }
 
+impl RoundClose {
+    /// The close as one JSON object (no trailing newline) — the
+    /// vocabulary `journal_tail --closes` interleaves with event lines.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"close\":{{\"round\":{},\"t_s\":{:.6},\"accepted\":{},\"quorum\":{},\"quorum_met\":{},\"closed_early\":{},\"degraded\":{},\"shards\":{},\"shard_shortfalls\":{}}}}}",
+            self.round,
+            self.t_s,
+            self.accepted,
+            self.quorum,
+            self.quorum_met,
+            self.closed_early,
+            self.degraded,
+            self.shards,
+            self.shard_shortfalls
+        )
+    }
+}
+
 /// A bounded ring of [`EventEntry`] with a never-resetting sequence
 /// counter.
 #[derive(Debug, Clone)]
@@ -245,6 +295,28 @@ impl EventJournal {
             t_s,
         });
         seq
+    }
+
+    /// Re-adopt an entry replayed from a write-ahead log, preserving its
+    /// original sequence number. The entry must continue this journal's
+    /// own counter exactly — resume treats a gap as corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e.seq != self.total_appended()` (callers validate the
+    /// sequence before adopting; see `ControlPlane::resume`).
+    pub(crate) fn adopt(&mut self, e: EventEntry) {
+        assert_eq!(
+            e.seq, self.next_seq,
+            "WAL entry out of sequence: expected {}, found {}",
+            self.next_seq, e.seq
+        );
+        self.next_seq += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(e);
     }
 
     /// Entries currently held, oldest first.

@@ -26,9 +26,20 @@
 //!   [`VirtualTransport`] (identity, the default) and
 //!   [`LoopbackTransport`] (real `std::thread` lanes + mpsc channels,
 //!   byte-identical journal with zero faults).
+//! - [`socket`] — [`SocketTransport`] carries the same envelopes over
+//!   real localhost TCP (length-prefixed, checksummed frames from
+//!   `bofl_fleet::wire`) with bounded seeded reconnect/backoff, per-send
+//!   ack timeouts and a ping/pong heartbeat lane; virtual timestamps
+//!   ride inside the frames, so the zero-fault journal stays
+//!   byte-identical to [`VirtualTransport`].
 //! - [`chaos`] — [`ChaosTransport`] decorates any carrier with seeded
 //!   delay, drop, duplication, reordering and partitions drawn from a
 //!   [`ChaosPlan`] (same stream discipline as `FaultPlan`).
+//! - [`wal`] — [`JournalWal`], an fsync'd append-only write-ahead log of
+//!   journal records with torn-tail truncation on open, powering
+//!   [`ControlPlane::resume`] (crash-safe coordinator restart) and
+//!   [`JournalTail`] (a follow-mode reader that never perturbs the
+//!   writer — the `journal_tail` bin).
 //! - [`liveness`] — [`LivenessPolicy`] arms per-client heartbeat
 //!   deadlines: silent clients are `Suspected`, then expired; an update
 //!   arriving in between heals them. When the close target becomes
@@ -74,19 +85,23 @@ pub mod journal;
 pub mod liveness;
 pub mod plane;
 pub mod sim;
+pub mod socket;
 pub mod state;
 pub mod transport;
+pub mod wal;
 
 pub use chaos::{ChaosPlan, ChaosTransport};
 pub use engine::{EventDrivenEngine, PlaneHandle};
 pub use journal::{EventCause, EventEntry, EventJournal, RoundClose, DEFAULT_JOURNAL_CAPACITY};
 pub use liveness::LivenessPolicy;
-pub use plane::{ControlPlane, ReplayError};
+pub use plane::{ControlPlane, ReplayError, ResumeError, ResumeReport};
 pub use sim::{ControlRunReport, ControlSimulation, ControlSimulationBuilder};
+pub use socket::{ReconnectPolicy, SocketTransport};
 pub use state::{ClientEvent, ClientState, TransitionError};
 pub use transport::{
     Carried, Delivery, Envelope, LoopbackTransport, Transport, VirtualTransport, WireStats,
 };
+pub use wal::{JournalTail, JournalWal, WalError, WalRecord};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -94,12 +109,14 @@ pub mod prelude {
     pub use crate::engine::{EventDrivenEngine, PlaneHandle};
     pub use crate::journal::{EventCause, EventEntry, EventJournal, RoundClose};
     pub use crate::liveness::LivenessPolicy;
-    pub use crate::plane::{ControlPlane, ReplayError};
+    pub use crate::plane::{ControlPlane, ReplayError, ResumeError, ResumeReport};
     pub use crate::sim::{ControlRunReport, ControlSimulation, ControlSimulationBuilder};
+    pub use crate::socket::{ReconnectPolicy, SocketTransport};
     pub use crate::state::{ClientEvent, ClientState, TransitionError};
     pub use crate::transport::{
         Carried, Delivery, Envelope, LoopbackTransport, Transport, VirtualTransport, WireStats,
     };
+    pub use crate::wal::{JournalTail, JournalWal, WalError, WalRecord};
     pub use bofl_fl::network::{NetworkModel, RetryPolicy};
     pub use bofl_fl::server::AggregationPolicy;
     pub use bofl_fleet::compress::{

@@ -7,17 +7,28 @@
 //! emit (quorum closes, churn, retries) live in the engine; all rules
 //! about which transitions are legal live in [`ClientState::next`].
 
-use crate::journal::{EventCause, EventEntry, EventJournal, RoundClose};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::journal::{EventCause, EventEntry, EventJournal, RoundClose, DEFAULT_JOURNAL_CAPACITY};
 use crate::state::{ClientEvent, ClientState, TransitionError};
 use crate::transport::WireStats;
+use crate::wal::{JournalWal, WalError, WalRecord};
 
 /// Tracks every client's lifecycle state and journals transitions.
+///
+/// With a WAL attached ([`ControlPlane::attach_wal`]) every journalled
+/// transition and round close is also appended — fsync'd — to an on-disk
+/// write-ahead log, and [`ControlPlane::resume`] can rebuild the plane
+/// from that log after a coordinator crash. Wire statistics are *not*
+/// persisted: they are derived observability, reproduced by re-running.
 #[derive(Debug, Clone)]
 pub struct ControlPlane {
     states: Vec<ClientState>,
     journal: EventJournal,
     closes: Vec<RoundClose>,
     wire: Vec<(u32, WireStats)>,
+    wal: Option<Arc<Mutex<JournalWal>>>,
 }
 
 impl ControlPlane {
@@ -29,6 +40,7 @@ impl ControlPlane {
             journal: EventJournal::default(),
             closes: Vec::new(),
             wire: Vec::new(),
+            wal: None,
         }
     }
 
@@ -39,7 +51,20 @@ impl ControlPlane {
             journal: EventJournal::with_capacity(capacity),
             closes: Vec::new(),
             wire: Vec::new(),
+            wal: None,
         }
+    }
+
+    /// Arm the write-ahead log: from now on every journalled transition
+    /// and round close is appended (and fsync'd) to `wal` before the
+    /// call that produced it returns.
+    pub fn attach_wal(&mut self, wal: Arc<Mutex<JournalWal>>) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Mutex<JournalWal>>> {
+        self.wal.as_ref()
     }
 
     /// Grow the tracked fleet to at least `clients` entries (new clients
@@ -96,8 +121,24 @@ impl ControlPlane {
             event,
         })?;
         self.states[client] = to;
-        self.journal
+        let seq = self
+            .journal
             .append(round as u32, client as u32, from, to, cause, t_s);
+        if let Some(wal) = &self.wal {
+            let entry = EventEntry {
+                seq,
+                round: round as u32,
+                client: client as u32,
+                from,
+                to,
+                cause,
+                t_s,
+            };
+            wal.lock()
+                .expect("journal WAL poisoned")
+                .append_event(&entry)
+                .expect("journal WAL append failed — the run is no longer crash-safe");
+        }
         Ok(to)
     }
 
@@ -117,7 +158,7 @@ impl ControlPlane {
         shards: usize,
         shard_shortfalls: usize,
     ) {
-        self.closes.push(RoundClose {
+        let close = RoundClose {
             round: round as u32,
             t_s,
             accepted,
@@ -127,7 +168,14 @@ impl ControlPlane {
             degraded,
             shards,
             shard_shortfalls,
-        });
+        };
+        if let Some(wal) = &self.wal {
+            wal.lock()
+                .expect("journal WAL poisoned")
+                .append_close(&close)
+                .expect("journal WAL append failed — the run is no longer crash-safe");
+        }
+        self.closes.push(close);
     }
 
     /// Record what the transport did to one round's messages.
@@ -194,6 +242,192 @@ impl ControlPlane {
             states[id] = current.next(event).expect("edge just validated");
         }
         Ok(states)
+    }
+
+    /// Rebuild a plane from the write-ahead log at `path` after a
+    /// coordinator crash, with the default journal capacity. See
+    /// [`ControlPlane::resume_with_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ControlPlane::resume_with_capacity`].
+    pub fn resume(
+        path: &Path,
+        clients: usize,
+    ) -> Result<(ControlPlane, ResumeReport), ResumeError> {
+        ControlPlane::resume_with_capacity(path, clients, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Rebuild a plane from the write-ahead log at `path` after a
+    /// coordinator crash.
+    ///
+    /// Recovery is two truncations deep. [`JournalWal::open`] first cuts
+    /// away the torn tail (a record the crash interrupted mid-write).
+    /// Then the **last `Close` record is treated as the round commit
+    /// marker**: whole event records after it belong to a round that
+    /// never finished, so they are discarded and truncated too. The
+    /// surviving prefix is replayed — with the same validation as
+    /// [`ControlPlane::replay`], plus a strict sequence-number check —
+    /// into a fresh plane whose journal, closes, state vector and virtual
+    /// clock match the uninterrupted run at that round boundary exactly.
+    /// The re-opened (truncated) WAL is attached to the returned plane,
+    /// so the resumed run appends its re-executed round in place of the
+    /// discarded one.
+    ///
+    /// # Errors
+    ///
+    /// - [`ResumeError::Wal`] — the file cannot be read or truncated.
+    /// - [`ResumeError::Replay`] — a committed record contradicts the
+    ///   transition contract (real corruption, not a torn tail).
+    /// - [`ResumeError::SeqGap`] — committed event records are not a
+    ///   gapless sequence from 0 (a missing or duplicated append).
+    pub fn resume_with_capacity(
+        path: &Path,
+        clients: usize,
+        capacity: usize,
+    ) -> Result<(ControlPlane, ResumeReport), ResumeError> {
+        let (mut wal, records, torn_bytes) = JournalWal::open(path)?;
+        let last_close = records
+            .iter()
+            .rposition(|(_, r)| matches!(r, WalRecord::Close(_)));
+        // Everything after the last Close is an uncommitted in-flight
+        // round: discard it so the resumed run re-executes that round.
+        let committed = match last_close {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        let commit_end = match records.get(committed) {
+            Some((offset, _)) => *offset,
+            None => wal.len(),
+        };
+        let in_flight_discarded = records.len() - committed;
+        wal.truncate_to(commit_end)?;
+
+        let mut plane = ControlPlane::with_journal_capacity(clients, capacity);
+        let mut now_s = 0.0_f64;
+        let mut events_replayed = 0usize;
+        for (_, record) in &records[..committed] {
+            now_s = now_s.max(record.t_s());
+            match record {
+                WalRecord::Event(e) => {
+                    let expected = plane.journal.total_appended();
+                    if e.seq != expected {
+                        return Err(ResumeError::SeqGap {
+                            expected,
+                            found: e.seq,
+                        });
+                    }
+                    let id = e.client as usize;
+                    // The live run grows the fleet before applying churn
+                    // events, so resume mirrors that instead of erroring.
+                    plane.ensure_clients(id + 1);
+                    let current = plane.states[id];
+                    if current != e.from {
+                        return Err(ResumeError::Replay(ReplayError::StateMismatch {
+                            seq: e.seq,
+                            client: id,
+                            expected: e.from,
+                            actual: current,
+                        }));
+                    }
+                    let legal = ClientEvent::ALL
+                        .into_iter()
+                        .any(|ev| current.next(ev) == Some(e.to));
+                    if !legal {
+                        return Err(ResumeError::Replay(ReplayError::IllegalEdge {
+                            seq: e.seq,
+                            client: id,
+                            from: e.from,
+                            to: e.to,
+                        }));
+                    }
+                    plane.states[id] = e.to;
+                    plane.journal.adopt(*e);
+                    events_replayed += 1;
+                }
+                WalRecord::Close(c) => plane.closes.push(*c),
+            }
+        }
+        let next_round = match plane.closes.last() {
+            Some(c) => c.round as usize + 1,
+            None => 0,
+        };
+        plane.attach_wal(Arc::new(Mutex::new(wal)));
+        Ok((
+            plane,
+            ResumeReport {
+                next_round,
+                now_s,
+                events_replayed,
+                in_flight_discarded,
+                torn_bytes,
+            },
+        ))
+    }
+}
+
+/// What [`ControlPlane::resume`] reconstructed and discarded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResumeReport {
+    /// The first round the resumed run should execute (last committed
+    /// round + 1; `0` if no round ever closed).
+    pub next_round: usize,
+    /// The virtual clock at the commit point — the resumed engine's
+    /// `now_s`.
+    pub now_s: f64,
+    /// Committed event records replayed into the journal.
+    pub events_replayed: usize,
+    /// Whole records discarded because their round never closed.
+    pub in_flight_discarded: usize,
+    /// Torn-tail bytes (a record interrupted mid-write) cut by open.
+    pub torn_bytes: u64,
+}
+
+/// Why a WAL resume was rejected.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The log could not be read, decoded, or truncated.
+    Wal(WalError),
+    /// A committed record contradicts the transition contract.
+    Replay(ReplayError),
+    /// Committed event records are not a gapless sequence from 0.
+    SeqGap {
+        /// The sequence number the reconstruction expected next.
+        expected: u64,
+        /// The sequence number the record carried.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Wal(e) => write!(f, "resume: {e}"),
+            ResumeError::Replay(e) => write!(f, "resume: {e}"),
+            ResumeError::SeqGap { expected, found } => {
+                write!(f, "resume: expected event seq {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<WalError> for ResumeError {
+    fn from(e: WalError) -> Self {
+        ResumeError::Wal(e)
+    }
+}
+
+impl From<std::io::Error> for ResumeError {
+    fn from(e: std::io::Error) -> Self {
+        ResumeError::Wal(WalError::Io(e))
+    }
+}
+
+impl From<ReplayError> for ResumeError {
+    fn from(e: ReplayError) -> Self {
+        ResumeError::Replay(e)
     }
 }
 
@@ -341,6 +575,156 @@ mod tests {
         assert!(plane.closes()[1].degraded);
         assert_eq!(plane.closes()[1].shards, 4);
         assert_eq!(plane.closes()[1].shard_shortfalls, 1);
+    }
+
+    fn wal_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bofl-plane-{}-{name}.wal", std::process::id()))
+    }
+
+    fn drive_round(plane: &mut ControlPlane, round: usize, t0: f64) {
+        for client in 0..2usize {
+            plane
+                .apply(client, E::Select, EventCause::Selection, round, t0)
+                .unwrap();
+            plane
+                .apply(client, E::Start, EventCause::RoundStart, round, t0)
+                .unwrap();
+            plane
+                .apply(
+                    client,
+                    E::Finish,
+                    EventCause::TrainingComplete,
+                    round,
+                    t0 + 5.0,
+                )
+                .unwrap();
+            plane
+                .apply(
+                    client,
+                    E::Accept,
+                    EventCause::UploadDelivered,
+                    round,
+                    t0 + 6.0,
+                )
+                .unwrap();
+        }
+        // Mirror the engine's commit order: resets first, then the Close
+        // record as the round's commit marker.
+        for client in 0..2usize {
+            plane
+                .apply(client, E::Reset, EventCause::RoundReset, round, t0 + 10.0)
+                .unwrap();
+        }
+        plane.close_round(round, t0 + 7.0, 2, 2, false, false, 0, 0);
+    }
+
+    #[test]
+    fn resume_rebuilds_the_plane_from_the_wal() {
+        let path = wal_path("round-trip");
+        let mut plane = ControlPlane::new(3);
+        plane.attach_wal(std::sync::Arc::new(std::sync::Mutex::new(
+            crate::wal::JournalWal::create(&path).unwrap(),
+        )));
+        drive_round(&mut plane, 0, 0.0);
+        drive_round(&mut plane, 1, 10.0);
+        drop(plane.wal.take());
+
+        let (resumed, report) = ControlPlane::resume(&path, 3).unwrap();
+        assert_eq!(report.next_round, 2);
+        assert_eq!(report.in_flight_discarded, 0);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(report.events_replayed, 20);
+        assert_eq!(report.now_s, 20.0);
+        assert_eq!(resumed.journal().total_appended(), 20);
+        assert_eq!(resumed.closes().len(), 2);
+        assert!(resumed.states().iter().all(|s| *s == S::Idle));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_discards_the_uncommitted_round_and_continues() {
+        let path = wal_path("in-flight");
+        let mut plane = ControlPlane::new(3);
+        plane.attach_wal(std::sync::Arc::new(std::sync::Mutex::new(
+            crate::wal::JournalWal::create(&path).unwrap(),
+        )));
+        drive_round(&mut plane, 0, 0.0);
+        // Round 1 starts but the coordinator dies before its close.
+        plane
+            .apply(0, E::Select, EventCause::Selection, 1, 10.0)
+            .unwrap();
+        plane
+            .apply(0, E::Start, EventCause::RoundStart, 1, 10.0)
+            .unwrap();
+        let committed_journal: Vec<EventEntry> = plane.journal().iter().take(10).copied().collect();
+        drop(plane.wal.take());
+        // A torn half-record on top, as a crash mid-append would leave.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[0xB0, 0xF1]).unwrap();
+        }
+
+        let (resumed, report) = ControlPlane::resume(&path, 3).unwrap();
+        assert_eq!(report.next_round, 1);
+        assert_eq!(report.in_flight_discarded, 2);
+        assert!(report.torn_bytes > 0);
+        assert_eq!(report.events_replayed, 10);
+        assert_eq!(resumed.state(0), S::Idle, "in-flight Select was discarded");
+        let replayed: Vec<EventEntry> = resumed.journal().iter().copied().collect();
+        assert_eq!(replayed, committed_journal);
+        assert_eq!(resumed.closes().len(), 1);
+        // The resumed plane keeps logging into the truncated WAL: its
+        // sequence numbers continue where the committed prefix ended.
+        let mut resumed = resumed;
+        drive_round(&mut resumed, 1, 10.0);
+        drop(resumed.wal.take());
+        let (again, report) = ControlPlane::resume(&path, 3).unwrap();
+        assert_eq!(report.next_round, 2);
+        assert_eq!(report.in_flight_discarded, 0);
+        assert_eq!(again.journal().total_appended(), 20);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_corrupt_committed_prefix() {
+        let path = wal_path("seq-gap");
+        {
+            let mut wal = crate::wal::JournalWal::create(&path).unwrap();
+            wal.append_event(&EventEntry {
+                seq: 5, // gap: first record must be seq 0
+                round: 0,
+                client: 0,
+                from: S::Idle,
+                to: S::Selected,
+                cause: EventCause::Selection,
+                t_s: 0.0,
+            })
+            .unwrap();
+            wal.append_close(&RoundClose {
+                round: 0,
+                t_s: 1.0,
+                accepted: 1,
+                quorum: 1,
+                quorum_met: true,
+                closed_early: false,
+                degraded: false,
+                shards: 0,
+                shard_shortfalls: 0,
+            })
+            .unwrap();
+        }
+        assert!(matches!(
+            ControlPlane::resume(&path, 1),
+            Err(ResumeError::SeqGap {
+                expected: 0,
+                found: 5
+            })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

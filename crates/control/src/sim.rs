@@ -4,9 +4,11 @@
 
 use crate::chaos::ChaosPlan;
 use crate::engine::{EventDrivenEngine, PlaneHandle};
-use crate::journal::{EventJournal, RoundClose};
+use crate::journal::{EventJournal, RoundClose, DEFAULT_JOURNAL_CAPACITY};
 use crate::liveness::LivenessPolicy;
+use crate::plane::{ControlPlane, ResumeReport};
 use crate::transport::Transport;
+use crate::wal::JournalWal;
 use bofl::task::PaceController;
 use bofl_fl::network::RetryPolicy;
 use bofl_fl::server::{Federation, FederationConfig, RunHistory};
@@ -15,7 +17,8 @@ use bofl_fleet::fault::FaultPlan;
 use bofl_fleet::generator::FleetSpec;
 use bofl_fleet::metrics::FleetMetrics;
 use bofl_fleet::shard::ShardPlan;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// A ready-to-run event-driven fleet simulation. Build one with
 /// [`ControlSimulation::builder`].
@@ -23,6 +26,8 @@ pub struct ControlSimulation {
     federation: Federation,
     plane: PlaneHandle,
     rounds: usize,
+    next_round: usize,
+    resume_report: Option<ResumeReport>,
 }
 
 impl std::fmt::Debug for ControlSimulation {
@@ -56,16 +61,28 @@ impl ControlSimulation {
             liveness: LivenessPolicy::none(),
             shard_plan: None,
             compressor: None,
+            wal_path: None,
+            resume_path: None,
         }
     }
 
-    /// Runs all rounds, collecting fleet metrics and annotating each
-    /// round's churn, chaos, and liveness counts from the event journal
-    /// and the transport's wire statistics.
+    /// Runs every remaining round (all of them on a fresh build; the
+    /// uncommitted tail on a resumed one), collecting fleet metrics and
+    /// annotating each round's churn, chaos, and liveness counts from the
+    /// event journal and the transport's wire statistics.
     pub fn run(&mut self) -> ControlRunReport {
+        self.run_rounds(self.rounds - self.next_round.min(self.rounds))
+    }
+
+    /// Runs at most `n` further rounds (stopping at the configured round
+    /// count) and reports on the run so far. Calling this repeatedly is
+    /// how the kill-and-resume tests stage a "crash" between rounds: run
+    /// a prefix, drop the simulation, resume from the WAL.
+    pub fn run_rounds(&mut self, n: usize) -> ControlRunReport {
         let mut metrics = FleetMetrics::new();
-        let mut rounds = Vec::with_capacity(self.rounds);
-        for round in 0..self.rounds {
+        let end = self.rounds.min(self.next_round + n);
+        let mut rounds = Vec::with_capacity(end.saturating_sub(self.next_round));
+        for round in self.next_round..end {
             let (record, outcomes) = self.federation.run_round_detailed(round);
             metrics.record(&record, &outcomes);
             {
@@ -93,6 +110,7 @@ impl ControlSimulation {
             }
             rounds.push(record);
         }
+        self.next_round = end;
         let plane = self.plane.lock().expect("control plane poisoned");
         ControlRunReport {
             history: RunHistory { rounds },
@@ -100,6 +118,18 @@ impl ControlSimulation {
             journal: plane.journal().clone(),
             closes: plane.closes().to_vec(),
         }
+    }
+
+    /// The next round [`ControlSimulation::run`] would execute (nonzero
+    /// on a freshly resumed simulation).
+    pub fn next_round(&self) -> usize {
+        self.next_round
+    }
+
+    /// What the WAL resume reconstructed, if this simulation was built
+    /// with [`ControlSimulationBuilder::resume_from_wal`].
+    pub fn resume_report(&self) -> Option<&ResumeReport> {
+        self.resume_report.as_ref()
     }
 
     /// The underlying federation (e.g. for inspecting clients).
@@ -179,6 +209,8 @@ pub struct ControlSimulationBuilder {
     liveness: LivenessPolicy,
     shard_plan: Option<(ShardPlan, f64)>,
     compressor: Option<Box<dyn Compressor>>,
+    wal_path: Option<PathBuf>,
+    resume_path: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for ControlSimulationBuilder {
@@ -287,6 +319,41 @@ impl ControlSimulationBuilder {
         self
     }
 
+    /// Arms the crash-safety write-ahead log at `path` (truncating any
+    /// existing file): every journalled transition and round close is
+    /// fsync'd there before the engine proceeds, so a killed coordinator
+    /// can be revived with [`ControlSimulationBuilder::resume_from_wal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created — a run that silently loses
+    /// its crash safety is worse than one that fails to start.
+    #[must_use]
+    pub fn wal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.wal_path = Some(path.into());
+        self.resume_path = None;
+        self
+    }
+
+    /// Resumes a crashed run from the write-ahead log at `path`: the
+    /// plane is rebuilt from the committed prefix (torn tails and the
+    /// uncommitted in-flight round are truncated away), the engine's
+    /// virtual clock restarts at the commit point, and
+    /// [`ControlSimulation::run`] continues from the first uncommitted
+    /// round — appending to the same WAL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log cannot be read or its committed prefix
+    /// contradicts the transition contract (see
+    /// [`crate::plane::ResumeError`]).
+    #[must_use]
+    pub fn resume_from_wal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_path = Some(path.into());
+        self.wal_path = None;
+        self
+    }
+
     /// Builds the simulation.
     pub fn build(self) -> ControlSimulation {
         let spec = self.spec;
@@ -310,6 +377,25 @@ impl ControlSimulationBuilder {
         if let Some(capacity) = self.journal_capacity {
             engine = engine.with_journal_capacity(capacity);
         }
+        // WAL/resume wiring comes last: both replace or mutate the plane
+        // the earlier builders installed.
+        let mut next_round = 0usize;
+        let mut resume_report = None;
+        if let Some(path) = &self.resume_path {
+            let (plane, report) = ControlPlane::resume_with_capacity(
+                path,
+                spec.num_clients,
+                self.journal_capacity.unwrap_or(DEFAULT_JOURNAL_CAPACITY),
+            )
+            .unwrap_or_else(|e| panic!("cannot resume from WAL {}: {e}", path.display()));
+            next_round = report.next_round;
+            engine = engine.with_resumed(plane, report.now_s);
+            resume_report = Some(report);
+        } else if let Some(path) = &self.wal_path {
+            let wal = JournalWal::create(path)
+                .unwrap_or_else(|e| panic!("cannot create WAL {}: {e}", path.display()));
+            engine = engine.with_wal(Arc::new(Mutex::new(wal)));
+        }
         let plane = engine.plane();
         let rounds = self.config.rounds;
         let mut builder = Federation::builder(self.config)
@@ -318,10 +404,19 @@ impl ControlSimulationBuilder {
         if let Some(f) = self.controller_factory {
             builder = builder.controller_factory(f);
         }
+        let mut federation = builder.build();
+        // The server's selection RNG is threaded across rounds; replay
+        // the committed rounds' draws so the resumed run selects the
+        // cohorts the crashed run would have.
+        for round in 0..next_round {
+            federation.skip_round_draws(round);
+        }
         ControlSimulation {
-            federation: builder.build(),
+            federation,
             plane,
             rounds,
+            next_round,
+            resume_report,
         }
     }
 }

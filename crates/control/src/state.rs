@@ -123,6 +123,12 @@ impl ClientState {
         ClientState::Suspected,
     ];
 
+    /// The state with discriminant `b`, if any — the inverse of `as u8`,
+    /// used when decoding binary journal records (the WAL).
+    pub fn from_u8(b: u8) -> Option<ClientState> {
+        ClientState::ALL.get(b as usize).copied()
+    }
+
     /// Stable lowercase name (journal CSV/JSONL vocabulary).
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -264,6 +270,15 @@ impl Error for TransitionError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_u8_inverts_the_discriminant() {
+        for s in ClientState::ALL {
+            assert_eq!(ClientState::from_u8(s as u8), Some(s));
+        }
+        assert_eq!(ClientState::from_u8(10), None);
+        assert_eq!(ClientState::from_u8(255), None);
+    }
 
     #[test]
     fn discriminants_are_stable_bytes() {

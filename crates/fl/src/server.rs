@@ -295,10 +295,22 @@ impl Federation {
         self.run_round_detailed(round).0
     }
 
-    /// Like [`Federation::run_round`], but also returns the per-client
-    /// [`ClientOutcome`]s the round engine produced — the raw material for
-    /// fleet-level metrics (energy/latency histograms, straggler rates).
-    pub fn run_round_detailed(&mut self, round: usize) -> (RoundRecord, Vec<ClientOutcome>) {
+    /// Draw-for-draw replay of one round's server-side randomness —
+    /// selection shuffle, deadline stretch, dropout pre-draws — without
+    /// training anyone. The server's RNG is threaded across rounds, so a
+    /// coordinator resumed from its write-ahead log calls this for every
+    /// already-committed round to fast-forward the stream; the continued
+    /// run then selects the exact cohorts the crashed run would have.
+    pub fn skip_round_draws(&mut self, round: usize) {
+        let _ = self.plan_round(round);
+    }
+
+    /// Steps 1–3 of a round: select the cohort, assign the deadline,
+    /// pre-draw server-side dropout. All of the round's `self.rng` draws
+    /// happen here, in a deterministic count and order (independent of
+    /// outcomes), which is what makes [`Federation::skip_round_draws`]
+    /// an exact replay.
+    fn plan_round(&mut self, round: usize) -> (Vec<ClientJob>, f64) {
         // 1. Client selection.
         let mut ids: Vec<usize> = (0..self.clients.len()).collect();
         match self.config.selection_policy {
@@ -373,6 +385,15 @@ impl Federation {
                 slowdown: 1.0,
             })
             .collect();
+        (jobs, deadline_s)
+    }
+
+    /// Like [`Federation::run_round`], but also returns the per-client
+    /// [`ClientOutcome`]s the round engine produced — the raw material for
+    /// fleet-level metrics (energy/latency histograms, straggler rates).
+    pub fn run_round_detailed(&mut self, round: usize) -> (RoundRecord, Vec<ClientOutcome>) {
+        let (jobs, deadline_s) = self.plan_round(round);
+        let ids: Vec<usize> = jobs.iter().map(|j| j.client_id).collect();
 
         // 4. Local training through the round engine (sequential by
         //    default; bofl-fleet plugs a worker pool in here).

@@ -52,22 +52,26 @@ pub mod engine;
 pub mod fault;
 pub mod generator;
 pub mod metrics;
+pub mod process;
 pub mod sampler;
 pub mod scale;
 pub mod shard;
 pub mod sim;
+pub mod wire;
 
 pub use compress::{CompressedUpdate, Compressor, Int8Quantizer, NoCompression, TopKSparsifier};
 pub use engine::FleetEngine;
 pub use fault::{ChurnStatus, FaultDraw, FaultPlan};
 pub use generator::{ClientProfile, DeviceKind, FleetSpec};
 pub use metrics::{Distribution, FleetMetrics, FleetRoundStats};
+pub use process::{ClientSpec, ProcessClientHarness};
 pub use sampler::{
     ClientSampler, ClientStat, EnergyAwareSampler, LossStalenessSampler, UniformSampler,
 };
 pub use scale::{ScaleConfig, ScaleReport, ScaleRoundTrace, ScaleSimulation};
 pub use shard::{ShardPlan, ShardRoundStats, UpdateAccumulator};
 pub use sim::{FleetRunReport, FleetSimulation, FleetSimulationBuilder};
+pub use wire::{Frame, FrameReader, WireError, WireMsg};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -78,12 +82,14 @@ pub mod prelude {
     pub use crate::fault::{ChurnStatus, FaultDraw, FaultPlan};
     pub use crate::generator::{ClientProfile, DeviceKind, FleetSpec};
     pub use crate::metrics::{Distribution, FleetMetrics, FleetRoundStats};
+    pub use crate::process::{ClientSpec, ProcessClientHarness};
     pub use crate::sampler::{
         ClientSampler, ClientStat, EnergyAwareSampler, LossStalenessSampler, UniformSampler,
     };
     pub use crate::scale::{ScaleConfig, ScaleReport, ScaleRoundTrace, ScaleSimulation};
     pub use crate::shard::{ShardPlan, ShardRoundStats, UpdateAccumulator};
     pub use crate::sim::{FleetRunReport, FleetSimulation, FleetSimulationBuilder};
+    pub use crate::wire::{Frame, FrameReader, WireError, WireMsg};
     pub use bofl_fl::network::RetryPolicy;
     pub use bofl_fl::server::AggregationPolicy;
 }

@@ -7,7 +7,8 @@ use bofl_fl::engine::ClientOutcome;
 use bofl_fl::server::RoundRecord;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// Summary statistics of one per-client quantity within a round.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -471,21 +472,32 @@ phase_none,phase_random,phase_pareto,phase_exploit,suggest_ms,test_accuracy";
     }
 }
 
-/// Crash-safe file export: write `contents` to a sibling temp file, then
-/// rename it over `path`. Rename is atomic on POSIX filesystems, so an
-/// interrupted export leaves either the previous artifact or the new one —
-/// never a truncated hybrid. Parent directories are created as needed and
-/// the temp file is cleaned up if the rename fails.
+/// Crash-safe file export: write `contents` to a sibling temp file,
+/// fsync it, rename it over `path`, then fsync the parent directory.
+/// Rename is atomic on POSIX filesystems and the two fsyncs make the
+/// result *durable*: after `write_atomic` returns, a power loss leaves
+/// either the previous artifact or the complete new one — never a
+/// truncated hybrid, and never a rename the directory forgot. Parent
+/// directories are created as needed and the temp file is cleaned up if
+/// the rename fails.
+///
+/// The temp file is always a *sibling* of `path` (same directory, hence
+/// same filesystem), so the rename can never cross a device boundary for
+/// a writable target directory. If a cross-device rename still surfaces
+/// (e.g. `path`'s directory is itself a bind-mount boundary), it comes
+/// back as a typed [`io::Error`] naming both paths instead of a panic.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors as typed [`io::Error`]s; never panics.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            fs::create_dir_all(p)?;
+            p.to_path_buf()
         }
-    }
+        _ => PathBuf::from("."),
+    };
     let file_name = path.file_name().ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -495,13 +507,37 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    fs::write(&tmp, contents)?;
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Contents must be on disk *before* the rename publishes them,
+        // or a crash could expose a complete-looking but empty file.
+        f.sync_all()?;
+    }
     match fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            // The rename itself lives in the directory entry; fsync the
+            // directory so the new name survives power loss too.
+            fs::File::open(&parent).and_then(|d| d.sync_all())?;
+            Ok(())
+        }
         Err(e) => {
             // Best-effort cleanup; the rename error is the one worth
             // surfacing.
             let _ = fs::remove_file(&tmp);
+            // EXDEV (cross-device link): give the caller an actionable
+            // message instead of a bare OS error.
+            if e.raw_os_error() == Some(18) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!(
+                        "write_atomic: rename {} -> {} crosses a filesystem boundary; \
+                         atomic publication needs both paths on one device ({e})",
+                        tmp.display(),
+                        path.display()
+                    ),
+                ));
+            }
             Err(e)
         }
     }
